@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark files."""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table
+from repro.harness.runner import ExperimentResult
+
+#: Columns used by the Fig. 3 family of sweeps.
+FIG3_HEADERS = ["protocol", "f", "n", "batch", "payload",
+                "tput (KTPS)", "commit lat (ms)", "e2e lat (ms)"]
+
+
+def fig3_rows(results: list[ExperimentResult]) -> list[list]:
+    """Standard sweep rows."""
+    return [
+        [r.protocol, r.f, r.n, r.batch_size, r.payload_size,
+         round(r.throughput_ktps, 2), round(r.commit_latency_ms, 2),
+         round(r.e2e_latency_ms, 2)]
+        for r in results
+    ]
+
+
+def render(title: str, results: list[ExperimentResult]) -> str:
+    """Format a Fig. 3-style sweep table."""
+    return format_table(FIG3_HEADERS, fig3_rows(results), title=title)
+
+
+def by_protocol(results: list[ExperimentResult]) -> dict[str, list[ExperimentResult]]:
+    """Group results per protocol, preserving order."""
+    grouped: dict[str, list[ExperimentResult]] = {}
+    for result in results:
+        grouped.setdefault(result.protocol, []).append(result)
+    return grouped

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Geo-replicated Achilles: three regions, asymmetric RTTs.
+
+The paper evaluates a uniform 40 ms WAN; this example spreads the
+committee across us-east / eu-west / ap-east (1 ms intra-region, 75–200 ms
+inter-region) and shows a quorum-protocol property the uniform setup
+hides: Achilles commits as soon as the **fastest f+1** votes return, so
+the transcontinental stragglers stay off the critical path and the commit
+latency tracks the *median* links, not the worst ones.
+
+Run:  python examples/geo_replication.py
+"""
+
+from __future__ import annotations
+
+from repro import MetricsCollector, ProtocolConfig, SaturatedSource, build_achilles_cluster
+from repro.net.geo import GeoLatencyModel
+from repro.net.latency import WAN_PROFILE
+
+
+def run(latency, label: str) -> MetricsCollector:
+    f = 3
+    config = ProtocolConfig.tee_committee(f=f, batch_size=200, payload_size=128)
+    collector = MetricsCollector(warmup_ms=1000.0,
+                                 reply_one_way_ms=latency.one_way_ms)
+    cluster = build_achilles_cluster(
+        f=f, latency=latency, config=config,
+        source_factory=lambda sim: SaturatedSource(
+            sim, payload_size=128, client_one_way_ms=latency.one_way_ms),
+        listener=collector, seed=5,
+    )
+    cluster.start()
+    cluster.run(8000.0)
+    cluster.assert_safety()
+    print(f"{label:28s} tput {collector.throughput_ktps():6.2f} KTPS   "
+          f"commit {collector.commit_latency.mean:7.2f} ms   "
+          f"p99 {collector.commit_latency.p99:7.2f} ms")
+    return collector
+
+
+def main() -> None:
+    n = 2 * 3 + 1
+    geo = GeoLatencyModel.spread_across(n)
+    print("committee placement:",
+          {node: region for node, region in geo.node_regions.items()})
+    print()
+    uniform = run(WAN_PROFILE, "uniform WAN (40 ms RTT)")
+    spread = run(geo, "geo (1/75/180/200 ms RTTs)")
+    print()
+    print("Reading guide: each leader commits on its nearest f+1 = 4 voters,")
+    print("so per-view latency is the RTT to the closest regions that")
+    print("complete its quorum (~75 ms for a us-east leader, more for")
+    print("ap-east ones as leadership rotates) — never the worst-case")
+    print("round trip, because the slowest links stay off the critical")
+    print("path.  The mean sits between the best and worst leader regions.")
+
+
+if __name__ == "__main__":
+    main()

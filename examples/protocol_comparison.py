@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Side-by-side protocol comparison (a miniature of the paper's Table 1 +
+Fig. 3): run Achilles against Damysus-R, OneShot-R, FlexiBFT, Achilles-C
+and BRaft at f = 4 in both LAN and WAN, and print throughput, latency,
+message counts, and counter usage.
+
+Run:  python examples/protocol_comparison.py          (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_experiment
+
+PROTOCOLS = ["achilles", "damysus-r", "oneshot-r", "flexibft",
+             "achilles-c", "braft"]
+
+
+def compare(network: str, duration_ms: float, warmup_ms: float) -> None:
+    rows = []
+    for protocol in PROTOCOLS:
+        result = run_experiment(
+            protocol, f=4, network=network, batch_size=400, payload_size=256,
+            duration_ms=duration_ms, warmup_ms=warmup_ms, seed=21,
+        )
+        rows.append([
+            protocol,
+            result.n,
+            round(result.throughput_ktps, 2),
+            round(result.commit_latency_ms, 2),
+            round(result.e2e_latency_ms, 2),
+            round(result.messages_sent / max(1, result.blocks_committed), 1),
+            result.counter_write_ms,
+        ])
+    print(format_table(
+        ["protocol", "n", "tput (KTPS)", "commit (ms)", "e2e (ms)",
+         "msgs/block", "counter write (ms)"],
+        rows,
+        title=f"\n=== {network}, f=4, batch 400 × 256 B ===",
+    ))
+
+
+def main() -> None:
+    compare("LAN", duration_ms=1500.0, warmup_ms=300.0)
+    compare("WAN", duration_ms=5000.0, warmup_ms=1000.0)
+    print(
+        "\nReading guide (matches the paper's claims):\n"
+        "  * Achilles leads every TEE-assisted BFT column: no persistent\n"
+        "    counter, one voting phase, O(n) messages.\n"
+        "  * Damysus-R pays ~4 counter writes per block on its critical\n"
+        "    path — the LAN gap collapses to the counter latency.\n"
+        "  * FlexiBFT needs n = 3f+1 and O(n²) votes; it hides counters\n"
+        "    well in WAN but scales worst in committee size.\n"
+        "  * BRaft (CFT) is the speed-of-light reference: Achilles trades\n"
+        "    a bounded slowdown for Byzantine fault tolerance."
+    )
+
+
+if __name__ == "__main__":
+    main()

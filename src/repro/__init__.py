@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Achilles: Efficient TEE-Assisted BFT
+Consensus via Rollback Resilient Recovery" (EuroSys '25).
+
+The library is a deterministic discrete-event simulation of the paper's
+whole system: the Achilles protocol (one-phase chained commits + rollback-
+resilient recovery), its trusted components (CHECKER/ACCUMULATOR) on a
+simulated SGX substrate, every baseline the paper compares against
+(Damysus/-R, OneShot/-R, FlexiBFT, Achilles-C, BRaft), and the experiment
+harness that regenerates the paper's figures and tables.
+
+Quickstart::
+
+    from repro import build_achilles_cluster, SaturatedSource, MetricsCollector
+    from repro.net import LAN_PROFILE
+
+    collector = MetricsCollector(warmup_ms=100.0)
+    cluster = build_achilles_cluster(
+        f=2, latency=LAN_PROFILE,
+        source_factory=lambda sim: SaturatedSource(sim, payload_size=256),
+        listener=collector,
+    )
+    cluster.start()
+    cluster.run(1000.0)          # one simulated second
+    cluster.assert_safety()
+    print(collector.summary())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.consensus.cluster import Cluster, build_cluster
+from repro.consensus.config import NodeCosts, ProtocolConfig
+from repro.core.protocol import build_achilles_cluster
+from repro.core.node import AchillesNode
+from repro.client.workload import (
+    FiniteWorkload,
+    OpenLoopGenerator,
+    QueueSource,
+    SaturatedSource,
+)
+from repro.client.client import SimulatedClient
+from repro.harness.metrics import MetricsCollector
+from repro.harness.runner import ExperimentResult, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "build_cluster",
+    "NodeCosts",
+    "ProtocolConfig",
+    "build_achilles_cluster",
+    "AchillesNode",
+    "FiniteWorkload",
+    "OpenLoopGenerator",
+    "QueueSource",
+    "SaturatedSource",
+    "SimulatedClient",
+    "MetricsCollector",
+    "ExperimentResult",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Baseline protocols.
+
+Importing this package registers every baseline with the experiment
+harness (:data:`repro.harness.runner.PROTOCOLS`):
+
+* ``damysus`` / ``damysus-r`` — chained two-phase Damysus, without/with a
+  persistent counter on every checker call;
+* ``oneshot`` / ``oneshot-r`` — view-adapting one-phase OneShot;
+* ``flexibft`` — n=3f+1 one-phase all-to-all protocol with a leader-only
+  counter;
+* ``achilles-c`` — Achilles with trusted components outside the enclave;
+* ``braft`` — a Raft implementation (CFT reference point);
+* ``minbft`` / ``minbft-r`` — the classic USIG-based two-round protocol
+  (Sec. 2.2's rollback-tax example).
+"""
+
+from repro.baselines.damysus import DamysusNode
+from repro.baselines.oneshot import OneShotNode
+from repro.baselines.flexibft import FlexiBFTNode
+from repro.baselines.braft import BRaftNode
+from repro.baselines.minbft import MinBFTNode
+from repro.baselines.achilles_c import AchillesCNode, build_achilles_c_cluster
+from repro.harness.runner import ProtocolSpec, register_protocol
+
+register_protocol(ProtocolSpec(
+    name="damysus", node_cls=DamysusNode,
+    committee=lambda f: 2 * f + 1, uses_counter=False,
+))
+register_protocol(ProtocolSpec(
+    name="damysus-r", node_cls=DamysusNode,
+    committee=lambda f: 2 * f + 1, uses_counter=True,
+))
+register_protocol(ProtocolSpec(
+    name="oneshot", node_cls=OneShotNode,
+    committee=lambda f: 2 * f + 1, uses_counter=False,
+))
+register_protocol(ProtocolSpec(
+    name="oneshot-r", node_cls=OneShotNode,
+    committee=lambda f: 2 * f + 1, uses_counter=True,
+))
+register_protocol(ProtocolSpec(
+    name="flexibft", node_cls=FlexiBFTNode,
+    committee=lambda f: 3 * f + 1, uses_counter=True,
+))
+register_protocol(ProtocolSpec(
+    name="achilles-c", node_cls=AchillesCNode,
+    committee=lambda f: 2 * f + 1, uses_counter=False, outside_tee=True,
+))
+register_protocol(ProtocolSpec(
+    name="braft", node_cls=BRaftNode,
+    committee=lambda f: 2 * f + 1, uses_counter=False, outside_tee=True,
+))
+register_protocol(ProtocolSpec(
+    name="minbft", node_cls=MinBFTNode,
+    committee=lambda f: 2 * f + 1, uses_counter=False,
+))
+register_protocol(ProtocolSpec(
+    name="minbft-r", node_cls=MinBFTNode,
+    committee=lambda f: 2 * f + 1, uses_counter=True,
+))
+
+__all__ = [
+    "DamysusNode",
+    "MinBFTNode",
+    "OneShotNode",
+    "FlexiBFTNode",
+    "BRaftNode",
+    "AchillesCNode",
+    "build_achilles_c_cluster",
+]

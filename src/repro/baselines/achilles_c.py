@@ -1,0 +1,51 @@
+"""Achilles-C: Achilles with trusted components outside the enclave.
+
+The paper's overhead-profiling variant (Sec. 5.4): the CHECKER and
+ACCUMULATOR logic is identical but runs as ordinary process code — no
+ECALL transitions, native-speed crypto, near-instant restart.  Comparing
+Achilles with Achilles-C isolates the cost of SGX itself; Achilles-C can
+also be read as a chained CFT protocol (it no longer resists a Byzantine
+host, only crashes).
+
+Implementation-wise this is :class:`~repro.core.node.AchillesNode` with
+:meth:`EnclaveProfile.outside_tee` — the protocol registry wires that up;
+this module provides the explicit builder for library users.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.consensus.cluster import Cluster
+from repro.consensus.config import ProtocolConfig
+from repro.core.node import AchillesNode
+from repro.core.protocol import build_achilles_cluster
+from repro.net.latency import LAN_PROFILE
+from repro.tee.enclave import EnclaveProfile
+
+
+class AchillesCNode(AchillesNode):
+    """An Achilles replica whose "trusted" components run untrusted."""
+
+
+def build_achilles_c_cluster(
+    f: int,
+    latency=LAN_PROFILE,
+    config: Optional[ProtocolConfig] = None,
+    source_factory: Optional[Callable] = None,
+    listener=None,
+    seed: int = 0,
+    **cluster_kwargs,
+) -> Cluster:
+    """Build an Achilles-C deployment (n = 2f+1, components outside TEE)."""
+    if config is None:
+        config = ProtocolConfig.tee_committee(f=f, seed=seed)
+    config = config.with_(enclave=EnclaveProfile.outside_tee())
+    return build_achilles_cluster(
+        f=f, latency=latency, config=config,
+        source_factory=source_factory, listener=listener, seed=seed,
+        node_cls=AchillesCNode, **cluster_kwargs,
+    )
+
+
+__all__ = ["AchillesCNode", "build_achilles_c_cluster"]

@@ -1,0 +1,80 @@
+"""Shared pieces for the baseline protocols.
+
+Damysus, OneShot, and FlexiBFT all use per-phase votes and quorum
+certificates; :class:`PhaseVote` / :class:`PhaseQC` factor that out.  The
+phase tag is part of the signed statement, so a prepare vote can never be
+replayed as a commit vote.
+
+``RStateMixin`` wires the paper's rollback-*prevention* recipe (Sec. 2.1)
+into a trusted component: every state-updating ECALL seals the state to
+untrusted storage and increments a persistent counter, charging the
+counter's write latency to the enclave invocation.  This is exactly the
+overhead the -R variants pay and Achilles avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import Keyring
+from repro.crypto.signatures import Signature, SignatureList, verify
+from repro.net.message import HASH_BYTES, SIGNATURE_BYTES
+from repro.tee.rprotect import RStateMixin  # noqa: F401 (re-export)
+
+#: Phase tags used in signed statements across the baselines.
+PREP = "PREP"
+CMT = "CMT"
+
+
+@dataclass(frozen=True)
+class PhaseVote:
+    """A vote for block ``block_hash`` at ``view`` in a named phase."""
+
+    phase: str
+    block_hash: str
+    view: int
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return (self.phase, self.block_hash, self.view)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.phase) + HASH_BYTES + 8 + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class PhaseQC:
+    """A quorum certificate: ``threshold`` distinct phase votes."""
+
+    phase: str
+    block_hash: str
+    view: int
+    signatures: SignatureList
+
+    def statement(self) -> tuple:
+        """The tuple each member vote signed."""
+        return (self.phase, self.block_hash, self.view)
+
+    def validate(self, keyring: Keyring, threshold: int) -> bool:
+        """≥ threshold distinct valid signers."""
+        valid = {
+            s.signer
+            for s in self.signatures.signatures
+            if verify(keyring, s, *self.statement())
+        }
+        return len(valid) >= threshold
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.phase) + HASH_BYTES + 8 + SIGNATURE_BYTES * len(self.signatures)
+
+
+
+__all__ = ["PhaseVote", "PhaseQC", "RStateMixin", "PREP", "CMT"]

@@ -1,0 +1,35 @@
+"""Damysus (EuroSys '22) and Damysus-R.
+
+Chained two-phase TEE-assisted BFT at n = 2f+1: PREPARE and PRE-COMMIT
+voting rounds per block, six end-to-end communication steps, linear
+message complexity.  The CHECKER stores the last *prepared* block (vs
+Achilles' last *stored* block) and the ACCUMULATOR forces the leader to
+extend the highest prepared block among f+1 NEW-VIEW certificates.
+
+Damysus-R is the paper's rollback-resistant variant: every checker ECALL
+seals its state and increments a persistent counter (write latency 20 ms
+by default), which is the overhead Fig. 3/4/5 quantify.
+"""
+
+from repro.baselines.damysus.checker import DamysusChecker, DamysusState
+from repro.baselines.damysus.node import (
+    DamysusNode,
+    DProposal,
+    DPrepareVote,
+    DPrepared,
+    DCommitVote,
+    DDecide,
+    DNewView,
+)
+
+__all__ = [
+    "DamysusChecker",
+    "DamysusState",
+    "DamysusNode",
+    "DProposal",
+    "DPrepareVote",
+    "DPrepared",
+    "DCommitVote",
+    "DDecide",
+    "DNewView",
+]

@@ -1,0 +1,260 @@
+"""Damysus' CHECKER trusted component (paper Appendix A).
+
+Differences from the Achilles checker (Sec. 4.3):
+
+* it records the last **prepared** block — a block certified by f+1
+  prepare votes — rather than the last block received from a leader;
+* it certifies two voting rounds per view (prepare + commit);
+* in the -R configuration every state update runs the store-then-increment
+  rollback-prevention dance (:class:`~repro.baselines.common.RStateMixin`),
+  and after a reboot the sealed state is only accepted if its version
+  matches the persistent counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.common import CMT, PREP, PhaseQC, PhaseVote, RStateMixin
+from repro.chain.block import Block
+from repro.core.certificates import AccumulatorCertificate, BlockCertificate, ViewCertificate
+from repro.crypto.hashing import GENESIS_HASH
+from repro.crypto.keys import Keyring, PrivateKey
+from repro.crypto.signatures import CryptoProfile, sign
+from repro.errors import EnclaveAbort
+from repro.tee.counters import PersistentCounter
+from repro.tee.enclave import Enclave, EnclaveProfile, ecall
+from repro.tee.sealing import UntrustedStore
+
+
+@dataclass
+class DamysusState:
+    """Volatile checker state."""
+
+    vi: int = 0
+    proposed: bool = False
+    prepare_voted: bool = False
+    recorded: bool = False
+    prepv: int = 0
+    preph: str = GENESIS_HASH
+
+    def as_payload(self) -> tuple:
+        """Serializable snapshot for sealing."""
+        return (self.vi, self.proposed, self.prepare_voted, self.recorded,
+                self.prepv, self.preph)
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "DamysusState":
+        """Rebuild from a sealed snapshot."""
+        vi, proposed, prepare_voted, recorded, prepv, preph = payload
+        return cls(vi=vi, proposed=proposed, prepare_voted=prepare_voted,
+                   recorded=recorded, prepv=prepv, preph=preph)
+
+
+class DamysusChecker(RStateMixin, Enclave):
+    """Damysus' CHECKER (optionally counter-protected: Damysus-R)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        f: int,
+        private_key: PrivateKey,
+        keyring: Keyring,
+        profile: Optional[EnclaveProfile] = None,
+        crypto: Optional[CryptoProfile] = None,
+        store: Optional[UntrustedStore] = None,
+        counter: Optional[PersistentCounter] = None,
+    ) -> None:
+        super().__init__(
+            identity=f"damysus-checker/{node_id}", profile=profile,
+            crypto=crypto, store=store,
+        )
+        self.node_id = node_id
+        self.n = n
+        self.f = f
+        self._sk = private_key
+        self._keyring = keyring
+        self.state = DamysusState()
+        self.needs_restore = False
+        self.attach_counter(counter)
+
+    def leader_of(self, view: int) -> int:
+        """Round-robin leader schedule."""
+        return view % self.n
+
+    def wipe_volatile_state(self) -> None:
+        """Reboot: state must be restored from sealed storage."""
+        self.state = DamysusState()
+        self.needs_restore = True
+
+    def _require_restored(self) -> None:
+        if self.needs_restore:
+            raise EnclaveAbort("checker state not restored after reboot")
+
+    def _advance(self, view: int) -> None:
+        st = self.state
+        if view > st.vi:
+            st.vi = view
+            st.proposed = False
+            st.prepare_voted = False
+            st.recorded = False
+
+    # ------------------------------------------------------------------
+    # Normal-case ECALLs
+    # ------------------------------------------------------------------
+    @ecall
+    def tee_prepare(
+        self, block: Block, acc: AccumulatorCertificate
+    ) -> tuple[BlockCertificate, PhaseVote]:
+        """Certify the leader's proposal; also emit the leader's own
+        prepare vote (so leader and backups both make two checker calls
+        per view, matching the paper's -R cost accounting)."""
+        self._require_restored()
+        st = self.state
+        self.charge_hash(block.wire_size())
+        self.charge_verify(1)
+        if not acc.validate(self._keyring, self.f + 1):
+            raise EnclaveAbort("invalid accumulator certificate")
+        if acc.signature.signer != self.node_id:
+            raise EnclaveAbort("accumulator certificate from another node")
+        if acc.target_view != st.vi:
+            raise EnclaveAbort("accumulator targets a different view")
+        if block.parent_hash != acc.block_hash:
+            raise EnclaveAbort("block does not extend the accumulated block")
+        if st.proposed:
+            raise EnclaveAbort("already proposed in this view")
+        if block.view != st.vi:
+            raise EnclaveAbort("block view mismatch")
+        if self.leader_of(st.vi) != self.node_id:
+            raise EnclaveAbort("not the leader of this view")
+        st.proposed = True
+        st.prepare_voted = True
+        self.protect_state_update(st.as_payload())
+        self.charge_sign(2)
+        block_cert = BlockCertificate(
+            block_hash=block.hash, view=st.vi,
+            signature=sign(self._sk, "PROP", block.hash, st.vi),
+        )
+        own_vote = PhaseVote(
+            phase=PREP, block_hash=block.hash, view=st.vi,
+            signature=sign(self._sk, PREP, block.hash, st.vi),
+        )
+        return block_cert, own_vote
+
+    @ecall
+    def tee_vote_prepare(self, block_cert: BlockCertificate) -> PhaseVote:
+        """Backup's first checker call: vote to prepare the block."""
+        self._require_restored()
+        st = self.state
+        self.charge_verify(1)
+        if not block_cert.validate(self._keyring):
+            raise EnclaveAbort("invalid block certificate")
+        v = block_cert.view
+        if block_cert.signature.signer != self.leader_of(v):
+            raise EnclaveAbort("block certificate not from the leader")
+        if v < st.vi:
+            raise EnclaveAbort("stale block certificate")
+        self._advance(v)
+        if st.prepare_voted:
+            raise EnclaveAbort("already prepare-voted in this view")
+        st.prepare_voted = True
+        self.protect_state_update(st.as_payload())
+        self.charge_sign(1)
+        return PhaseVote(
+            phase=PREP, block_hash=block_cert.block_hash, view=v,
+            signature=sign(self._sk, PREP, block_cert.block_hash, v),
+        )
+
+    @ecall
+    def tee_record_prepared(
+        self, qc: PhaseQC
+    ) -> tuple[PhaseVote, ViewCertificate]:
+        """Second checker call: record the prepared block, emit the commit
+        vote, and pre-issue the NEW-VIEW certificate for the next view."""
+        self._require_restored()
+        st = self.state
+        self.charge_verify(self.f + 1)
+        if qc.phase != PREP or not qc.validate(self._keyring, self.f + 1):
+            raise EnclaveAbort("invalid prepared QC")
+        v = qc.view
+        if v < st.vi:
+            raise EnclaveAbort("stale prepared QC")
+        self._advance(v)
+        if st.recorded:
+            raise EnclaveAbort("already recorded a prepared block in this view")
+        st.recorded = True
+        st.prepv = v
+        st.preph = qc.block_hash
+        # The view's voting work is done; enter the next view.
+        next_view = v + 1
+        commit_vote_sig = sign(self._sk, CMT, qc.block_hash, v)
+        st.vi = next_view
+        st.proposed = False
+        st.prepare_voted = False
+        st.recorded = False
+        self.protect_state_update(st.as_payload())
+        self.charge_sign(2)
+        new_view = ViewCertificate(
+            block_hash=st.preph, block_view=st.prepv, current_view=next_view,
+            signature=sign(self._sk, "NEW-VIEW", st.preph, st.prepv, next_view),
+        )
+        return (
+            PhaseVote(phase=CMT, block_hash=qc.block_hash, view=v,
+                      signature=commit_vote_sig),
+            new_view,
+        )
+
+    @ecall
+    def tee_new_view(self) -> ViewCertificate:
+        """Timeout path: advance the view and certify the prepared pair."""
+        self._require_restored()
+        st = self.state
+        st.vi += 1
+        st.proposed = False
+        st.prepare_voted = False
+        st.recorded = False
+        self.protect_state_update(st.as_payload())
+        self.charge_sign(1)
+        return ViewCertificate(
+            block_hash=st.preph, block_view=st.prepv, current_view=st.vi,
+            signature=sign(self._sk, "NEW-VIEW", st.preph, st.prepv, st.vi),
+        )
+
+    # ------------------------------------------------------------------
+    # Reboot path
+    # ------------------------------------------------------------------
+    @ecall
+    def tee_restore(self, sealed_payload: Optional[tuple]) -> bool:
+        """Restore state from a sealed snapshot after a reboot.
+
+        With a persistent counter attached (Damysus-R) the snapshot's bound
+        version must equal the counter value — a stale snapshot is detected
+        and rejected.  Without a counter (plain Damysus) **any authentic
+        snapshot is accepted**, which is the rollback vulnerability the
+        Achilles paper targets; `tests/integration/test_rollback_attacks.py`
+        demonstrates the resulting equivocation.
+        """
+        if not self.needs_restore:
+            raise EnclaveAbort("checker does not need restoration")
+        if sealed_payload is None:
+            # Nothing sealed (fresh node): start from genesis state.
+            self.state = DamysusState()
+            self.needs_restore = False
+            return True
+        version, payload = sealed_payload
+        if self.counter is not None:
+            self.charge(self.protected_read_latency())
+            if version != self.counter.value:
+                raise EnclaveAbort(
+                    f"rollback detected: sealed version {version} != "
+                    f"counter {self.counter.value}"
+                )
+        self.state = DamysusState.from_payload(payload)
+        self._state_version = version
+        self.needs_restore = False
+        return True
+
+
+__all__ = ["DamysusChecker", "DamysusState", "PREP", "CMT"]

@@ -1,0 +1,287 @@
+"""MinBFT (Veronese et al., IEEE ToC 2013) on the USIG substrate.
+
+The classic counter-based TEE-BFT protocol the Achilles paper uses to
+explain the rollback-prevention tax (Sec. 2.2, Fig. 1): n = 2f+1, a stable
+leader, and two all-to-all-ish rounds:
+
+* **PREPARE** — the leader binds the batch to its next USIG identifier and
+  broadcasts it;
+* **COMMIT** — every backup verifies the leader's UI (gapless), binds the
+  prepare digest to its *own* next UI, and broadcasts the commit to all;
+  a node executes once f+1 nodes (leader included) have UI-certified the
+  batch.
+
+Four end-to-end steps, O(n²) messages, and — crucially for the paper's
+argument — **one USIG counter assignment per node per batch**: with a
+persistent counter attached (MinBFT-R) the commit path serializes behind
+two counter writes (leader's, then backups'), which is the baseline cost
+Fig. 1 illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chain.block import Block, create_leaf
+from repro.chain.execution import execute_transactions
+from repro.consensus.base import CommitListener, ReplicaBase, TransactionSource
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.pacemaker import Pacemaker
+from repro.crypto.hashing import digest_of
+from repro.crypto.keys import KeyPair, Keyring
+from repro.crypto.signatures import Signature, sign, verify
+from repro.errors import EnclaveAbort
+from repro.net.message import HASH_BYTES, SIGNATURE_BYTES
+from repro.net.network import Network
+from repro.sim.loop import Simulator
+from repro.tee.trinc import Usig, UsigCertificate
+
+
+@dataclass(frozen=True)
+class MPrepare:
+    """Leader → all: the batch, UI-certified."""
+
+    view: int
+    block: Block
+    ui: UsigCertificate
+
+    def digest(self) -> str:
+        """What backups' commits bind to."""
+        return digest_of("mprep", self.view, self.block.hash)
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 8 + self.block.wire_size() + self.ui.wire_size()
+
+
+@dataclass(frozen=True)
+class MCommit:
+    """Node → all: a UI-certified commit for a prepare digest."""
+
+    view: int
+    block_hash: str
+    prepare_digest: str
+    ui: UsigCertificate
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 8 + 2 * HASH_BYTES + self.ui.wire_size()
+
+
+@dataclass(frozen=True)
+class MViewChange:
+    """Node → all: vote to install the next leader."""
+
+    new_view: int
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("MVC", self.new_view)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 3 + 8 + SIGNATURE_BYTES
+
+
+class MinBFTNode(ReplicaBase):
+    """A MinBFT replica."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        config: ProtocolConfig,
+        keypair: KeyPair,
+        keyring: Keyring,
+        source: Optional[TransactionSource] = None,
+        listener: Optional[CommitListener] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, config, keypair, keyring, source, listener)
+        self.usig = Usig(
+            node_id=node_id, private_key=keypair.private, keyring=keyring,
+            profile=config.enclave, crypto=config.crypto,
+            counter=config.make_counter() if config.counter_factory else None,
+        )
+        self.view = 0  # leader epoch: leader = view % n, stable until VC
+        self._prepares: dict[str, MPrepare] = {}       # digest -> prepare
+        self._commit_uis: dict[str, set[int]] = {}     # digest -> nodes
+        self._executed: set[str] = set()
+        self._vc_votes: dict[int, set[int]] = {}
+        self._outstanding: Optional[str] = None        # digest in flight
+        self._batch_timer = self.timer("batch_wait")
+        self.pacemaker = Pacemaker(self, config.base_timeout_ms, self._on_timeout)
+
+    def leader_of(self, view: int) -> int:
+        """Stable leader."""
+        return view % self.config.n
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """The initial leader begins preparing batches."""
+        self.pacemaker.view_started(self.view)
+        if self.is_leader(self.view):
+            self.run_work(self._prepare_next)
+
+    def _prepare_next(self) -> None:
+        if not self.is_leader(self.view) or self._outstanding is not None:
+            return
+        txs = self.make_batch()
+        if not txs and not self.config.allow_empty_blocks:
+            self._batch_timer.start(
+                self.config.batch_wait_ms,
+                lambda: self.run_work(self._prepare_next),
+            )
+            return
+        self._batch_timer.cancel()
+        parent = self.store.committed_tip
+        op = execute_transactions(txs, parent.hash)
+        self.charge(self.config.costs.exec_cost(len(txs)))
+        block = create_leaf(txs, op, parent, view=self.view, proposer=self.node_id)
+        prepare_digest = digest_of("mprep", self.view, block.hash)
+        try:
+            ui = self.usig.create_ui(prepare_digest)
+        except EnclaveAbort:
+            self.requeue_batch(txs)
+            return
+        finally:
+            self.charge_enclave(self.usig)
+        prepare = MPrepare(view=self.view, block=block, ui=ui)
+        self._outstanding = prepare_digest
+        self._prepares[prepare_digest] = prepare
+        self.store.add(block)
+        if self.listener is not None:
+            self.listener.on_propose(self.node_id, block, self.sim.now)
+        self.broadcast(prepare)
+        # The leader's prepare doubles as its commit (MinBFT §IV).
+        self._commit_uis.setdefault(prepare_digest, set()).add(self.node_id)
+        self._maybe_execute(prepare_digest)
+
+    # ------------------------------------------------------------------
+    def on_MPrepare(self, msg: MPrepare, src: int) -> None:
+        """Backup: verify the leader's UI, then UI-certify the commit."""
+        if msg.view < self.view:
+            return
+        if msg.ui.node != self.leader_of(msg.view) or src != msg.ui.node:
+            return
+        digest = msg.digest()
+        self.charge(self.config.crypto.hash_cost(msg.block.wire_size()))
+        try:
+            # Gaps allowed: commits we dropped as late duplicates may have
+            # advanced this sender's counter past the strict sequence.
+            self.usig.verify_ui(msg.ui, digest, allow_gaps=True)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.usig)
+        self._prepares[digest] = msg
+        self.store.add(msg.block)
+        if self.config.deep_validation:
+            parent = self.store.get(msg.block.parent_hash)
+            if parent is None or \
+                    execute_transactions(msg.block.txs, parent.hash) != msg.block.op:
+                return
+        try:
+            my_ui = self.usig.create_ui(digest)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.usig)
+        commit = MCommit(view=msg.view, block_hash=msg.block.hash,
+                         prepare_digest=digest, ui=my_ui)
+        self.broadcast(commit)
+        bucket = self._commit_uis.setdefault(digest, set())
+        bucket.add(src)
+        bucket.add(self.node_id)
+        self._maybe_execute(digest)
+
+    def on_MCommit(self, msg: MCommit, src: int) -> None:
+        """Collect UI-certified commits; execute at f+1.
+
+        The UI is consumed *before* the already-executed check so the
+        per-sender counter stream never develops holes we then reject.
+        """
+        if msg.ui.node != src:
+            return
+        try:
+            self.usig.verify_ui(msg.ui, msg.prepare_digest, allow_gaps=True)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.usig)
+        if msg.prepare_digest in self._executed:
+            return
+        self._commit_uis.setdefault(msg.prepare_digest, set()).add(src)
+        self._maybe_execute(msg.prepare_digest)
+
+    def _maybe_execute(self, digest: str) -> None:
+        if digest in self._executed:
+            return
+        prepare = self._prepares.get(digest)
+        if prepare is None:
+            return
+        if len(self._commit_uis.get(digest, ())) < self.config.f + 1:
+            return
+        block = prepare.block
+        if not self.store.has_full_ancestry(block):
+            self.with_full_ancestry(
+                block, lambda _b: self._maybe_execute(digest))
+            return
+        self._executed.add(digest)
+        if not self.store.is_committed(block.hash):
+            self.commit_block(block)
+        self.pacemaker.progress()
+        self.pacemaker.view_started(self.view)
+        self._commit_uis.pop(digest, None)
+        if self._outstanding == digest:
+            self._outstanding = None
+        if self.is_leader(self.view):
+            self.after(0.0, lambda: self.run_work(self._prepare_next))
+
+    # ------------------------------------------------------------------
+    # View change (simplified leader replacement)
+    # ------------------------------------------------------------------
+    def _on_timeout(self, view: int) -> None:
+        self.run_work(self._send_view_change)
+
+    def _send_view_change(self) -> None:
+        new_view = self.view + 1
+        self.charge_sign(1)
+        vc = MViewChange(
+            new_view=new_view,
+            signature=sign(self.keypair.private, "MVC", new_view),
+        )
+        self.broadcast(vc)
+        self._collect_vc(vc)
+        self.pacemaker.view_started(self.view)
+
+    def on_MViewChange(self, msg: MViewChange, src: int) -> None:
+        """Install a new leader on f+1 view-change votes."""
+        self.charge_verify(1)
+        if not msg.validate(self.keyring):
+            return
+        self._collect_vc(msg)
+
+    def _collect_vc(self, msg: MViewChange) -> None:
+        if msg.new_view <= self.view:
+            return
+        voters = self._vc_votes.setdefault(msg.new_view, set())
+        voters.add(msg.signature.signer)
+        if len(voters) < self.config.f + 1:
+            return
+        self.view = msg.new_view
+        self._outstanding = None
+        self.pacemaker.view_started(self.view)
+        self._vc_votes = {v: s for v, s in self._vc_votes.items()
+                          if v > self.view}
+        if self.is_leader(self.view):
+            self.run_work(self._prepare_next)
+
+
+__all__ = ["MinBFTNode", "MPrepare", "MCommit", "MViewChange"]

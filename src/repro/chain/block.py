@@ -1,0 +1,83 @@
+"""Blocks and the genesis block.
+
+A block is ``⟨txs, op, h_p⟩`` (paper Sec. 4.2) annotated with the view at
+which it was produced and its height.  ``op`` is the digest of the
+execution results — the leader executes the batch before proposing and
+includes the outcome for others to verify (paper Sec. 6.1, second
+responsiveness fix), which is what lets a client trust a single reply.
+
+Block hashes commit to every field, so hash links authenticate the whole
+ancestry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
+
+from repro.crypto.hashing import GENESIS_HASH, digest_of
+from repro.chain.transaction import Transaction
+from repro.net.message import HASH_BYTES
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block in the hash chain."""
+
+    txs: tuple[Transaction, ...]
+    op: str
+    parent_hash: str
+    view: int
+    height: int
+    proposer: int = -1
+
+    @cached_property
+    def hash(self) -> str:
+        """The block's content hash (H(b) in the paper)."""
+        if self.height == 0:
+            return GENESIS_HASH
+        tx_digest = digest_of([t.key + (t.payload,) for t in self.txs])
+        return digest_of(tx_digest, self.op, self.parent_hash, self.view, self.height, self.proposer)
+
+    @property
+    def is_genesis(self) -> bool:
+        """True for the hard-coded genesis block G."""
+        return self.height == 0
+
+    def wire_size(self) -> int:
+        """Serialized size: header fields + all transactions."""
+        header = 2 * HASH_BYTES + 8 + 8 + 4  # op + parent hash + view/height/proposer
+        return header + sum(t.wire_size() for t in self.txs)
+
+    def __repr__(self) -> str:  # keep logs readable
+        return (
+            f"Block(h={self.height}, v={self.view}, txs={len(self.txs)}, "
+            f"hash={self.hash[:8]}, parent={self.parent_hash[:8]})"
+        )
+
+
+def genesis_block() -> Block:
+    """The hard-coded genesis block G (height 0, view 0)."""
+    return Block(txs=(), op="genesis", parent_hash="", view=0, height=0, proposer=-1)
+
+
+def create_leaf(
+    txs: tuple[Transaction, ...],
+    op: str,
+    parent: Block,
+    view: int,
+    proposer: int,
+) -> Block:
+    """The paper's ``createLeaf(txs, op, h_p)``: extend ``parent``."""
+    return Block(
+        txs=txs,
+        op=op,
+        parent_hash=parent.hash,
+        view=view,
+        height=parent.height + 1,
+        proposer=proposer,
+    )
+
+
+__all__ = ["Block", "genesis_block", "create_leaf"]

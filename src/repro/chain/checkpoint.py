@@ -1,0 +1,107 @@
+"""BFT checkpoints: certified log compaction and state transfer.
+
+Production BFT systems cannot keep the full chain in memory; they
+checkpoint periodically (PBFT §4.3): every ``interval`` blocks each node
+signs a checkpoint vote for the committed block at that height, and f+1
+matching votes form a :class:`CheckpointCertificate` — proof that the
+block (hence its whole prefix, via hash links and the execution results
+embedded in blocks) is final.  The certificate lets a node
+
+* **compact** its store, pruning blocks below the checkpoint, and
+* **state-transfer** a lagging or recovering peer: instead of replaying
+  pruned history, the peer verifies the certificate and installs the
+  checkpoint block as its new committed base.
+
+The Achilles paper inherits this machinery from its Damysus/HotStuff
+lineage without spelling it out; it composes cleanly with the
+rollback-resilient recovery because certificates, not local storage,
+carry the authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import Keyring, PrivateKey
+from repro.crypto.signatures import Signature, SignatureList, sign, verify
+from repro.net.message import HASH_BYTES, SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class CheckpointVote:
+    """``⟨CHKPT, height, block-hash⟩_σ`` — one node's checkpoint vote."""
+
+    height: int
+    block_hash: str
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("CHKPT", self.height, self.block_hash)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 5 + 8 + HASH_BYTES + SIGNATURE_BYTES
+
+
+def make_checkpoint_vote(private_key: PrivateKey, height: int,
+                         block_hash: str) -> CheckpointVote:
+    """Sign a checkpoint vote."""
+    return CheckpointVote(
+        height=height, block_hash=block_hash,
+        signature=sign(private_key, "CHKPT", height, block_hash),
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointCertificate:
+    """f+1 matching checkpoint votes: the block at ``height`` is final."""
+
+    height: int
+    block_hash: str
+    signatures: SignatureList
+
+    def validate(self, keyring: Keyring, threshold: int) -> bool:
+        """≥ threshold distinct valid signers over the checkpoint statement."""
+        valid = {
+            s.signer
+            for s in self.signatures.signatures
+            if verify(keyring, s, "CHKPT", self.height, self.block_hash)
+        }
+        return len(valid) >= threshold
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 5 + 8 + HASH_BYTES + SIGNATURE_BYTES * len(self.signatures)
+
+
+def combine_checkpoint_votes(votes: list[CheckpointVote],
+                             threshold: int) -> CheckpointCertificate:
+    """Combine matching votes (caller has already validated them)."""
+    head = votes[0]
+    matching = [v for v in votes
+                if (v.height, v.block_hash) == (head.height, head.block_hash)]
+    seen: set[int] = set()
+    kept = []
+    for vote in matching:
+        if vote.signature.signer not in seen:
+            seen.add(vote.signature.signer)
+            kept.append(vote.signature)
+        if len(kept) == threshold:
+            break
+    return CheckpointCertificate(
+        height=head.height, block_hash=head.block_hash,
+        signatures=SignatureList.of(kept),
+    )
+
+
+__all__ = [
+    "CheckpointVote",
+    "CheckpointCertificate",
+    "make_checkpoint_vote",
+    "combine_checkpoint_votes",
+]

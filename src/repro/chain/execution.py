@@ -1,0 +1,69 @@
+"""Deterministic transaction execution.
+
+The paper assumes ``executeTx(txs, h_p)`` producing execution results
+``op`` that anyone can re-derive and verify (Sec. 4.2).  We implement a
+small key-value state machine: payloads of the form ``"SET <key> <value>"``
+update the store; anything else is folded into the state digest as an
+opaque write.  ``op`` is the digest of (parent hash, state root after the
+batch), so equal prefixes always yield equal results and a forged result is
+detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.chain.transaction import Transaction
+from repro.crypto.hashing import digest_of
+
+
+class KVStateMachine:
+    """Replayable key-value state machine with a rolling state root."""
+
+    def __init__(self) -> None:
+        self._state: dict[str, str] = {}
+        self._root: str = digest_of("kv-root")
+        self.applied: int = 0
+
+    @property
+    def state_root(self) -> str:
+        """Digest committing to the full current state history."""
+        return self._root
+
+    def get(self, key: str) -> str | None:
+        """Read a key (for examples/tests)."""
+        return self._state.get(key)
+
+    def apply(self, tx: Transaction) -> None:
+        """Apply one transaction."""
+        parts = tx.payload.split(" ", 2)
+        if len(parts) == 3 and parts[0] == "SET":
+            self._state[parts[1]] = parts[2]
+            effect = ("SET", parts[1], parts[2])
+        else:
+            effect = ("OPAQUE", str(tx.key), tx.payload)
+        self._root = digest_of(self._root, effect)
+        self.applied += 1
+
+    def apply_batch(self, txs: Iterable[Transaction]) -> str:
+        """Apply a batch; returns the resulting state root."""
+        for tx in txs:
+            self.apply(tx)
+        return self._root
+
+
+def execute_transactions(txs: Sequence[Transaction], parent_hash: str) -> str:
+    """The paper's ``executeTx(txs, h_p)``: deterministic execution results.
+
+    Stateless helper used by proposers/validators: the result commits to
+    the parent (i.e. the whole prefix, via its hash) and to each
+    transaction's effect, so any two honest nodes derive the same ``op``
+    and a Byzantine leader cannot attach wrong results undetected.
+    """
+    root = digest_of("exec", parent_hash)
+    for tx in txs:
+        root = digest_of(root, tx.key, tx.payload)
+    return root
+
+
+__all__ = ["KVStateMachine", "execute_transactions"]

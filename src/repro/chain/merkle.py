@@ -1,0 +1,119 @@
+"""Merkle commitments over transaction batches.
+
+Reply responsiveness (paper Sec. 6.1) lets a client accept a single reply
+because blocks embed execution results; for *light* clients that don't
+download blocks, the standard tool is a Merkle tree over the batch: the
+replica's reply carries an inclusion proof, and the client checks it
+against the block's transaction root in O(log n) hashes.
+
+This module provides the tree, proofs, and verification.  It is a
+self-contained substrate piece: consensus keeps using the flat batch
+digest (matching the prototypes the paper measures), and applications can
+layer Merkle commitments on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.chain.transaction import Transaction
+from repro.crypto.hashing import digest_of
+from repro.errors import ValidationError
+
+
+def _leaf_digest(tx: Transaction) -> str:
+    return digest_of("leaf", tx.key, tx.payload)
+
+
+def _node_digest(left: str, right: str) -> str:
+    return digest_of("node", left, right)
+
+
+#: Root of an empty batch (a fixed domain-separated constant).
+EMPTY_ROOT = digest_of("merkle-empty")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: sibling digests from leaf to root.
+
+    ``path`` lists ``(sibling_digest, sibling_is_left)`` pairs, leaf level
+    first.
+    """
+
+    leaf_index: int
+    path: tuple[tuple[str, bool], ...]
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 8 + len(self.path) * 33
+
+
+class MerkleTree:
+    """A binary Merkle tree over a transaction batch.
+
+    Odd levels promote the unpaired node unchanged (Bitcoin-style
+    duplication would let two different batches share a root; promotion
+    does not).
+    """
+
+    def __init__(self, txs: Sequence[Transaction]) -> None:
+        self.leaves = [_leaf_digest(tx) for tx in txs]
+        self.levels: list[list[str]] = [list(self.leaves)]
+        current = self.levels[0]
+        while len(current) > 1:
+            nxt = []
+            for i in range(0, len(current) - 1, 2):
+                nxt.append(_node_digest(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])  # promote unpaired
+            self.levels.append(nxt)
+            current = nxt
+
+    @property
+    def root(self) -> str:
+        """The batch commitment."""
+        if not self.leaves:
+            return EMPTY_ROOT
+        return self.levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def prove(self, index: int) -> MerkleProof:
+        """Inclusion proof for the ``index``-th transaction."""
+        if not 0 <= index < len(self.leaves):
+            raise ValidationError(f"no leaf at index {index}")
+        path: list[tuple[str, bool]] = []
+        position = index
+        for level in self.levels[:-1]:
+            if position % 2 == 0:
+                sibling = position + 1
+                if sibling < len(level):
+                    path.append((level[sibling], False))
+                # else: promoted unpaired node — no sibling at this level
+            else:
+                path.append((level[position - 1], True))
+            position //= 2
+        return MerkleProof(leaf_index=index, path=tuple(path))
+
+
+def verify_inclusion(root: str, tx: Transaction, proof: MerkleProof) -> bool:
+    """Check that ``tx`` is committed under ``root`` via ``proof``."""
+    digest = _leaf_digest(tx)
+    for sibling, sibling_is_left in proof.path:
+        if sibling_is_left:
+            digest = _node_digest(sibling, digest)
+        else:
+            digest = _node_digest(digest, sibling)
+    return digest == root
+
+
+def batch_root(txs: Sequence[Transaction]) -> str:
+    """The Merkle root of a batch (convenience)."""
+    return MerkleTree(txs).root
+
+
+__all__ = ["MerkleTree", "MerkleProof", "verify_inclusion", "batch_root",
+           "EMPTY_ROOT"]

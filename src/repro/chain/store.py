@@ -1,0 +1,204 @@
+"""Per-node block store and chain queries.
+
+Holds every block a node has received, indexed by hash, and answers the
+structural questions the protocols ask: ancestry (``b1 > b2`` in the
+paper's notation), conflicts, missing ancestors (for block
+synchronization), and the committed prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.chain.block import Block, genesis_block
+from repro.errors import ChainError
+
+
+class BlockStore:
+    """Hash-indexed block DAG rooted at genesis."""
+
+    def __init__(self) -> None:
+        self.genesis = genesis_block()
+        self._blocks: dict[str, Block] = {self.genesis.hash: self.genesis}
+        self._committed: list[Block] = [self.genesis]
+        self._committed_hashes: set[str] = {self.genesis.hash}
+        #: When True, committed transaction keys are indexed (client-reply
+        #: deduplication); off by default to keep large runs lean.
+        self.track_txs = False
+        self._committed_tx_keys: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> None:
+        """Insert a block (idempotent).  Height consistency is enforced when
+        the parent is known."""
+        if block.hash in self._blocks:
+            return
+        parent = self._blocks.get(block.parent_hash)
+        if parent is not None and block.height != parent.height + 1:
+            raise ChainError(
+                f"block at height {block.height} extends parent at height {parent.height}"
+            )
+        self._blocks[block.hash] = block
+
+    def get(self, block_hash: str) -> Optional[Block]:
+        """Fetch a block by hash, or ``None`` if unknown."""
+        return self._blocks.get(block_hash)
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def ancestors(self, block: Block) -> Iterator[Block]:
+        """Walk parents from ``block`` (exclusive) back toward genesis,
+        stopping at the first unknown parent."""
+        current = self._blocks.get(block.parent_hash)
+        while current is not None:
+            yield current
+            if current.is_genesis:
+                return
+            current = self._blocks.get(current.parent_hash)
+
+    def extends(self, descendant: Block, ancestor_hash: str) -> bool:
+        """Paper's ``b1 > h``: does ``descendant`` extend the block with
+        hash ``ancestor_hash``?"""
+        if descendant.hash == ancestor_hash:
+            return False
+        if descendant.parent_hash == ancestor_hash:
+            return True
+        return any(b.hash == ancestor_hash for b in self.ancestors(descendant))
+
+    def conflicts(self, b1: Block, b2: Block) -> bool:
+        """Paper Sec. 4.2: b1 conflicts with b2 iff neither extends the other."""
+        if b1.hash == b2.hash:
+            return False
+        return not (self.extends(b1, b2.hash) or self.extends(b2, b1.hash))
+
+    def has_full_ancestry(self, block: Block) -> bool:
+        """True iff the block's ancestry is locally anchored: the parent
+        walk reaches genesis or any already-committed block (after
+        compaction, committed checkpoints anchor ancestry in place of
+        genesis)."""
+        if block.is_genesis or block.hash in self._committed_hashes:
+            return True
+        return self.missing_ancestor_hash(block) is None
+
+    def missing_ancestor_hash(self, block: Block) -> Optional[str]:
+        """The first unknown ancestor hash (what block-sync must pull);
+        ``None`` when the ancestry is anchored locally."""
+        current = block
+        while not current.is_genesis:
+            if current.hash in self._committed_hashes:
+                return None  # anchored at the committed prefix
+            parent = self._blocks.get(current.parent_hash)
+            if parent is None:
+                return current.parent_hash
+            current = parent
+        return None
+
+    # ------------------------------------------------------------------
+    # Commitment
+    # ------------------------------------------------------------------
+    def commit(self, block: Block) -> list[Block]:
+        """Commit ``block`` and all uncommitted ancestors (chained
+        commitment, paper Sec. 4.4 "Block synchronization").
+
+        Returns newly committed blocks in chain order.  Raises
+        :class:`ChainError` if ``block`` does not extend the committed tip —
+        that would be a safety violation and tests rely on it being loud.
+        """
+        if block.hash in self._committed_hashes:
+            return []
+        if not self.has_full_ancestry(block):
+            raise ChainError(f"cannot commit {block}: ancestry incomplete")
+        tip = self._committed[-1]
+        path = [block]
+        for ancestor in self.ancestors(block):
+            if ancestor.hash in self._committed_hashes:
+                break
+            path.append(ancestor)
+        path.reverse()
+        if path[0].parent_hash != tip.hash:
+            raise ChainError(
+                f"commit of {block} does not extend committed tip {tip} — safety violation"
+            )
+        self._committed.extend(path)
+        self._committed_hashes.update(b.hash for b in path)
+        if self.track_txs:
+            for b in path:
+                self._committed_tx_keys.update(tx.key for tx in b.txs)
+        return path
+
+    @property
+    def committed_tip(self) -> Block:
+        """Highest committed block."""
+        return self._committed[-1]
+
+    def committed_chain(self) -> list[Block]:
+        """The committed prefix, genesis first."""
+        return list(self._committed)
+
+    def is_committed(self, block_hash: str) -> bool:
+        """Has this hash been committed locally?"""
+        return block_hash in self._committed_hashes
+
+    def is_committed_tx(self, tx_key: tuple[int, int]) -> bool:
+        """Has this transaction been committed (requires ``track_txs``)?"""
+        return tx_key in self._committed_tx_keys
+
+    # ------------------------------------------------------------------
+    # Checkpointing (certified log compaction, see repro.chain.checkpoint)
+    # ------------------------------------------------------------------
+    @property
+    def compaction_base(self) -> Block:
+        """The oldest retained committed block (genesis before compaction)."""
+        return self._committed[0]
+
+    def compact(self, retain: int) -> int:
+        """Prune committed blocks older than the last ``retain`` ones.
+
+        Pruned blocks are dropped from the block index and the committed
+        list; their hashes stay in the committed set so ancestry anchoring,
+        idempotent commits, and stale-message filtering keep working.
+        Returns the number of blocks pruned.
+        """
+        if retain < 1:
+            raise ChainError("compaction must retain at least one block")
+        if len(self._committed) <= retain:
+            return 0
+        pruned = self._committed[:-retain]
+        self._committed = self._committed[-retain:]
+        for block in pruned:
+            if not block.is_genesis:
+                self._blocks.pop(block.hash, None)
+        return len([b for b in pruned if not b.is_genesis])
+
+    def install_checkpoint(self, block: Block) -> None:
+        """Adopt a certified checkpoint block as the new committed base.
+
+        Used for state transfer: the caller has verified an f+1 checkpoint
+        certificate for ``block``.  The local committed chain must be
+        behind the checkpoint (installing one that conflicts with local
+        commits would be a safety violation and raises loudly).
+        """
+        if block.height <= self.committed_tip.height:
+            if self.is_committed(block.hash):
+                return  # already have it
+            raise ChainError(
+                f"checkpoint at height {block.height} conflicts with local "
+                f"committed tip {self.committed_tip}"
+            )
+        self._blocks[block.hash] = block
+        self._committed.append(block)
+        self._committed_hashes.add(block.hash)
+        if self.track_txs:
+            self._committed_tx_keys.update(tx.key for tx in block.txs)
+
+
+__all__ = ["BlockStore"]

@@ -1,0 +1,44 @@
+"""Client transactions.
+
+Per paper Sec. 5.1, each transaction carries a client id and transaction id
+(8 B of metadata) plus a payload of 0/256/512 B.  The payload is opaque to
+consensus; the KV state machine interprets payloads of the form
+``"SET <key> <value>"`` and treats anything else as a no-op write of its
+own digest (so execution results are still deterministic functions of the
+payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Metadata bytes per transaction (client id + transaction id), Sec. 5.1.
+TX_METADATA_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One client transaction."""
+
+    client_id: int
+    tx_id: int
+    payload: str = ""
+    payload_size: int = 0
+    created_at: float = 0.0
+
+    def wire_size(self) -> int:
+        """Serialized size: metadata + max(declared payload size, text)."""
+        return TX_METADATA_BYTES + max(self.payload_size, len(self.payload.encode()))
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Globally unique identity of the transaction."""
+        return (self.client_id, self.tx_id)
+
+
+def tx_wire_size(payload_size: int) -> int:
+    """Wire size of a transaction with an opaque payload of ``payload_size``."""
+    return TX_METADATA_BYTES + payload_size
+
+
+__all__ = ["Transaction", "tx_wire_size", "TX_METADATA_BYTES"]

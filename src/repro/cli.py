@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one experiment (protocol × f × network × workload), printing
+  the paper's three metrics.
+* ``compare`` — several protocols side by side on one configuration.
+* ``recovery`` — the Table 2 recovery-overhead breakdown.
+* ``counters`` — the Table 4 persistent-counter latencies.
+* ``protocols`` — list everything the registry knows.
+
+All output is plain text (the same tables the benchmarks record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.report import format_table
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--f", type=int, default=2, dest="faults",
+                        help="fault threshold f (committee is 2f+1 or 3f+1)")
+    parser.add_argument("--network", choices=["LAN", "WAN"], default="LAN")
+    parser.add_argument("--batch", type=int, default=400,
+                        help="transactions per block")
+    parser.add_argument("--payload", type=int, default=256,
+                        help="payload bytes per transaction")
+    parser.add_argument("--counter-write-ms", type=float, default=20.0,
+                        help="persistent-counter write latency for -R variants")
+    parser.add_argument("--duration", type=float, default=1500.0,
+                        help="measured window (simulated ms)")
+    parser.add_argument("--warmup", type=float, default=300.0,
+                        help="warmup excluded from metrics (simulated ms)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="open-loop offered load in TPS (default: saturated)")
+
+
+def _result_row(result) -> list:
+    return [result.protocol, result.f, result.n, result.network,
+            round(result.throughput_ktps, 2),
+            round(result.commit_latency_ms, 2),
+            round(result.e2e_latency_ms, 2),
+            result.blocks_committed]
+
+
+_RESULT_HEADERS = ["protocol", "f", "n", "net", "tput (KTPS)",
+                   "commit (ms)", "e2e (ms)", "blocks"]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment."""
+    from repro.harness.runner import run_experiment
+
+    result = run_experiment(
+        args.protocol, f=args.faults, network=args.network,
+        batch_size=args.batch, payload_size=args.payload,
+        counter_write_ms=args.counter_write_ms,
+        duration_ms=args.duration, warmup_ms=args.warmup, seed=args.seed,
+        offered_load_tps=args.rate,
+    )
+    print(format_table(_RESULT_HEADERS, [_result_row(result)],
+                       title=f"{args.protocol} — single experiment"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run several protocols on the same configuration."""
+    from repro.harness.runner import run_experiment
+
+    rows = []
+    for protocol in args.protocols:
+        result = run_experiment(
+            protocol, f=args.faults, network=args.network,
+            batch_size=args.batch, payload_size=args.payload,
+            counter_write_ms=args.counter_write_ms,
+            duration_ms=args.duration, warmup_ms=args.warmup, seed=args.seed,
+            offered_load_tps=args.rate,
+        )
+        rows.append(_result_row(result))
+    print(format_table(
+        _RESULT_HEADERS, rows,
+        title=f"comparison — {args.network}, f={args.faults}, "
+              f"batch {args.batch} × {args.payload} B",
+    ))
+    return 0
+
+
+def cmd_recovery(args: argparse.Namespace) -> int:
+    """Reproduce the Table 2 recovery breakdown."""
+    from repro.harness.experiments import table2_recovery_breakdown
+
+    rows = table2_recovery_breakdown(node_counts=tuple(args.nodes))
+    print(format_table(
+        ["nodes", "initialization (ms)", "recovery (ms)", "total (ms)"],
+        [[r["nodes"], round(r["initialization_ms"], 2),
+          round(r["recovery_ms"], 2), round(r["total_ms"], 2)] for r in rows],
+        title="recovery overhead breakdown (LAN)",
+    ))
+    return 0
+
+
+def cmd_counters(args: argparse.Namespace) -> int:
+    """Reproduce the Table 4 counter latencies."""
+    from repro.harness.experiments import table4_counter_latencies
+
+    rows = table4_counter_latencies(samples=args.samples)
+    print(format_table(
+        ["counter", "write (ms)", "read (ms)"],
+        [[r["counter"], round(r["write_ms"], 1), round(r["read_ms"], 1)]
+         for r in rows],
+        title="persistent counter latencies",
+    ))
+    return 0
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    """List registered protocols."""
+    import repro.baselines  # noqa: F401 (registration)
+    import repro.core.registry  # noqa: F401
+    from repro.harness.runner import PROTOCOLS
+
+    rows = [
+        [name, spec.committee(1), "yes" if spec.uses_counter else "no",
+         "no TEE" if spec.outside_tee else "SGX (simulated)"]
+        for name, spec in sorted(PROTOCOLS.items())
+    ]
+    print(format_table(["protocol", "n at f=1", "persistent counter", "trust"],
+                       rows, title="registered protocols"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Achilles (EuroSys '25) reproduction — simulated "
+                    "TEE-assisted BFT consensus",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("protocol", help="protocol name (see `protocols`)")
+    _add_workload_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare several protocols")
+    p_cmp.add_argument("protocols", nargs="+",
+                       help="protocol names (see `protocols`)")
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rec = sub.add_parser("recovery", help="Table 2 recovery breakdown")
+    p_rec.add_argument("--nodes", type=int, nargs="+",
+                       default=[3, 5, 9, 21, 41, 61])
+    p_rec.set_defaults(func=cmd_recovery)
+
+    p_cnt = sub.add_parser("counters", help="Table 4 counter latencies")
+    p_cnt.add_argument("--samples", type=int, default=200)
+    p_cnt.set_defaults(func=cmd_counters)
+
+    p_ls = sub.add_parser("protocols", help="list registered protocols")
+    p_ls.set_defaults(func=cmd_protocols)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

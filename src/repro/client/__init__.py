@@ -1,0 +1,31 @@
+"""Clients and workload generation.
+
+Two ways to drive a cluster:
+
+* **Statistical sources** (:mod:`repro.client.workload`) — the benchmark
+  path.  A source plays the role of the aggregate client population and
+  the replicas' shared mempool; client↔replica network hops are folded in
+  as one-way latency offsets, which measures the same end-to-end interval
+  the paper does without simulating per-transaction client messages.
+* **Simulated clients** (:mod:`repro.client.client`) — real client
+  processes attached to the network that submit :class:`ClientRequest`
+  messages and await replies; used by examples and integration tests.
+"""
+
+from repro.client.workload import (
+    SaturatedSource,
+    QueueSource,
+    OpenLoopGenerator,
+    FiniteWorkload,
+    make_payload,
+)
+from repro.client.client import SimulatedClient
+
+__all__ = [
+    "SaturatedSource",
+    "QueueSource",
+    "OpenLoopGenerator",
+    "FiniteWorkload",
+    "make_payload",
+    "SimulatedClient",
+]

@@ -1,0 +1,188 @@
+"""Simulated clients.
+
+A :class:`SimulatedClient` is a real network endpoint: it submits
+transactions as :class:`~repro.consensus.messages.ClientRequest` messages
+to replicas and records the first valid reply per transaction — the reply
+responsiveness the paper claims: one reply suffices because the commitment
+certificate plus embedded execution results authenticate the outcome
+(Sec. 6.1).
+
+Clients retransmit to all replicas if no reply arrives within a timeout
+(the standard PBFT fallback for a faulty leader).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chain.transaction import Transaction
+from repro.consensus.messages import (
+    ClientReadReply,
+    ClientReadRequest,
+    ClientReply,
+    ClientRequest,
+)
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.loop import Simulator
+
+#: Client network ids start here, far above any replica id.
+CLIENT_ID_BASE = 10_000
+
+
+@dataclass
+class ReadOperation:
+    """One consensus-free read (paper Sec. 6.1): completes when n−f
+    replicas report the same value."""
+
+    key: str
+    quorum: int
+    started_at: float
+    replies: dict[int, Optional[str]] = None  # replica -> value
+    value: Optional[str] = None
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.replies is None:
+            self.replies = {}
+
+    @property
+    def done(self) -> bool:
+        """Has a matching quorum been assembled?"""
+        return self.completed_at is not None
+
+    def note_reply(self, replica: int, value: Optional[str], now: float) -> None:
+        """Record one replica's answer; complete on an n−f match."""
+        if self.done:
+            return
+        self.replies[replica] = value
+        counts: dict[Optional[str], int] = {}
+        for v in self.replies.values():
+            counts[v] = counts.get(v, 0) + 1
+        for v, count in counts.items():
+            if count >= self.quorum:
+                self.value = v
+                self.completed_at = now
+                return
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """Read latency, if completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class ClientRecord:
+    """Per-transaction bookkeeping."""
+
+    tx: Transaction
+    submitted_at: float
+    replied_at: Optional[float] = None
+    replier: Optional[int] = None
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """End-to-end latency, if a reply arrived."""
+        if self.replied_at is None:
+            return None
+        return self.replied_at - self.submitted_at
+
+
+class SimulatedClient(Process):
+    """One client process attached to the cluster's network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        client_index: int,
+        n_replicas: int,
+        payload_size: int = 0,
+        retry_ms: float = 2000.0,
+    ) -> None:
+        super().__init__(sim, name=f"client{client_index}")
+        self.network = network
+        self.client_id = CLIENT_ID_BASE + client_index
+        self.n_replicas = n_replicas
+        self.payload_size = payload_size
+        self.retry_ms = retry_ms
+        self.records: dict[tuple[int, int], ClientRecord] = {}
+        self._next_tx_id = 0
+        # one outstanding fast read per key
+        self.reads: dict[str, ReadOperation] = {}
+        network.attach(self.client_id, self)
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: str = "", to_replica: int = 0) -> Transaction:
+        """Send one transaction to ``to_replica`` and arm the retry timer."""
+        self._next_tx_id += 1
+        tx = Transaction(
+            client_id=self.client_id,
+            tx_id=self._next_tx_id,
+            payload=payload,
+            payload_size=self.payload_size,
+            created_at=self.sim.now,
+        )
+        self.records[tx.key] = ClientRecord(tx=tx, submitted_at=self.sim.now)
+        self.network.send(self.client_id, to_replica % self.n_replicas,
+                          ClientRequest(tx=tx, reply_to=self.client_id))
+        self.after(self.retry_ms, lambda: self._retry(tx.key), label=f"{self.name}.retry")
+        return tx
+
+    def _retry(self, tx_key: tuple[int, int]) -> None:
+        record = self.records.get(tx_key)
+        if record is None or record.replied_at is not None:
+            return
+        # Leader may be faulty: broadcast to every replica.
+        for replica in range(self.n_replicas):
+            self.network.send(self.client_id, replica,
+                              ClientRequest(tx=record.tx, reply_to=self.client_id))
+        self.after(self.retry_ms, lambda: self._retry(tx_key), label=f"{self.name}.retry")
+
+    # ------------------------------------------------------------------
+    def read(self, key: str, f: int) -> "ReadOperation":
+        """Start a consensus-free read: ask every replica, accept the value
+        once n−f of them agree (Sec. 6.1)."""
+        operation = self.reads.get(key)
+        if operation is not None and not operation.done:
+            return operation
+        operation = ReadOperation(key=key, quorum=self.n_replicas - f,
+                                  started_at=self.sim.now)
+        self.reads[key] = operation
+        for replica in range(self.n_replicas):
+            self.network.send(self.client_id, replica,
+                              ClientReadRequest(key=key, reply_to=self.client_id))
+        return operation
+
+    # ------------------------------------------------------------------
+    def deliver(self, envelope: Envelope) -> None:
+        """Network entry point: record write replies and read answers."""
+        payload = envelope.payload
+        if isinstance(payload, ClientReadReply):
+            operation = self.reads.get(payload.key)
+            if operation is not None:
+                operation.note_reply(payload.replica, payload.value, self.sim.now)
+            return
+        if not isinstance(payload, ClientReply):
+            return
+        record = self.records.get(payload.tx_key)
+        if record is None or record.replied_at is not None:
+            return
+        record.replied_at = self.sim.now
+        record.replier = payload.replica
+
+    # ------------------------------------------------------------------
+    def all_replied(self) -> bool:
+        """Did every submitted transaction get a reply?"""
+        return all(r.replied_at is not None for r in self.records.values())
+
+    def latencies(self) -> list[float]:
+        """End-to-end latencies of replied transactions."""
+        return [r.latency_ms for r in self.records.values() if r.latency_ms is not None]
+
+
+__all__ = ["SimulatedClient", "ClientRecord", "ReadOperation", "CLIENT_ID_BASE"]

@@ -1,0 +1,187 @@
+"""Workload sources.
+
+All sources implement the :class:`~repro.consensus.base.TransactionSource`
+protocol (``take`` / ``pending``).  Transactions carry ``created_at``
+timestamps used for end-to-end latency; the configured
+``client_one_way_ms`` models the client→replica hop the paper counts as
+the first communication step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.chain.transaction import Transaction
+from repro.sim.loop import Simulator
+
+
+def make_payload(payload_size: int, tag: int = 0) -> str:
+    """An opaque payload string of roughly ``payload_size`` bytes."""
+    if payload_size <= 0:
+        return ""
+    body = f"tx{tag:08d}"
+    return (body * (payload_size // len(body) + 1))[:payload_size]
+
+
+class SaturatedSource:
+    """An always-full mempool: every ``take`` is served in full.
+
+    Used for peak-throughput measurements (Fig. 3, Tables 1/3): the paper
+    saturates the system, so the leader never waits for transactions.
+    ``created_at`` is back-dated by the client's one-way delay so that
+    end-to-end latency still includes the client→replica step.
+    """
+
+    def __init__(self, sim: Simulator, payload_size: int = 256,
+                 client_one_way_ms: float = 0.05) -> None:
+        self.sim = sim
+        self.payload_size = payload_size
+        self.client_one_way_ms = client_one_way_ms
+        self.minted = 0
+
+    def take(self, count: int, now: float) -> list[Transaction]:
+        """Mint ``count`` fresh transactions dated to their submit time."""
+        created = max(0.0, now - self.client_one_way_ms)
+        txs = []
+        for _ in range(count):
+            self.minted += 1
+            txs.append(Transaction(
+                client_id=self.minted % 64,
+                tx_id=self.minted,
+                payload="",
+                payload_size=self.payload_size,
+                created_at=created,
+            ))
+        return txs
+
+    def pending(self) -> int:
+        """A saturated source always has work."""
+        return 1 << 30
+
+
+class QueueSource:
+    """A FIFO mempool fed by generators or simulated clients.
+
+    Deduplicates by transaction key so a client retransmission cannot be
+    executed twice.
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[Transaction] = deque()
+        self._seen: set[tuple[int, int]] = set()
+        self.submitted = 0
+        self.duplicates_dropped = 0
+
+    def submit(self, tx: Transaction) -> bool:
+        """Add a transaction; returns False for duplicates."""
+        if tx.key in self._seen:
+            self.duplicates_dropped += 1
+            return False
+        self._seen.add(tx.key)
+        self._queue.append(tx)
+        self.submitted += 1
+        return True
+
+    def take(self, count: int, now: float) -> list[Transaction]:
+        """Pop up to ``count`` transactions."""
+        txs = []
+        while self._queue and len(txs) < count:
+            txs.append(self._queue.popleft())
+        return txs
+
+    def requeue(self, txs) -> None:
+        """Put transactions back at the head (a proposal failed)."""
+        self._queue.extendleft(reversed(list(txs)))
+
+    def pending(self) -> int:
+        """Transactions currently queued."""
+        return len(self._queue)
+
+
+class OpenLoopGenerator:
+    """Poisson open-loop arrivals at a fixed offered load (Fig. 4).
+
+    Transactions are created at the client, then arrive at the mempool one
+    client→replica hop later.  ``rate_tps`` is in transactions per second;
+    simulation time is milliseconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: QueueSource,
+        rate_tps: float,
+        payload_size: int = 256,
+        client_one_way_ms: float = 0.05,
+        client_count: int = 16,
+    ) -> None:
+        self.sim = sim
+        self.source = source
+        self.rate_tps = rate_tps
+        self.payload_size = payload_size
+        self.client_one_way_ms = client_one_way_ms
+        self.client_count = client_count
+        self._rng = sim.fork_rng("open-loop")
+        self._next_id = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin generating arrivals."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating (in-flight arrivals still land)."""
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped or self.rate_tps <= 0:
+            return
+        gap_ms = self._rng.expovariate(self.rate_tps / 1000.0)
+        self.sim.schedule(gap_ms, self._emit, label="open-loop")
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        self._next_id += 1
+        tx = Transaction(
+            client_id=self._next_id % self.client_count,
+            tx_id=self._next_id,
+            payload="",
+            payload_size=self.payload_size,
+            created_at=self.sim.now,
+        )
+        self.sim.schedule(self.client_one_way_ms, lambda: self.source.submit(tx),
+                          label="client-submit")
+        self._schedule_next()
+
+
+class FiniteWorkload:
+    """Submit a fixed batch of transactions up front (examples/tests)."""
+
+    def __init__(self, sim: Simulator, count: int, payload_size: int = 0,
+                 payload_prefix: str = "") -> None:
+        self.source = QueueSource()
+        for i in range(1, count + 1):
+            payload = f"{payload_prefix}{i}" if payload_prefix else make_payload(payload_size, i)
+            self.source.submit(Transaction(
+                client_id=0, tx_id=i, payload=payload,
+                payload_size=payload_size, created_at=sim.now,
+            ))
+
+    def take(self, count: int, now: float) -> list[Transaction]:
+        """Delegate to the underlying queue."""
+        return self.source.take(count, now)
+
+    def pending(self) -> int:
+        """Transactions remaining."""
+        return self.source.pending()
+
+
+__all__ = [
+    "SaturatedSource",
+    "QueueSource",
+    "OpenLoopGenerator",
+    "FiniteWorkload",
+    "make_payload",
+]

@@ -1,0 +1,469 @@
+"""Replica base class.
+
+:class:`ReplicaBase` provides the machinery every protocol node needs:
+
+* a network endpoint with per-message CPU cost accounting — handler work is
+  charged to the node's single-core :class:`~repro.sim.cpu.CpuModel`, and
+  messages produced by a handler leave only when that work completes;
+* leader schedules (round-robin by view, or stable);
+* a block store with chained commitment and client-reply bookkeeping;
+* a transaction source (mempool) and batch assembly;
+* block synchronization (pull missing ancestors, paper Sec. 4.4);
+* crash/reboot lifecycle shared with the fault injectors.
+
+Protocol subclasses implement ``on_<MessageType>`` handlers and call
+:meth:`send_to` / :meth:`broadcast` from inside them; the dispatch wrapper
+takes care of CPU serialization so all protocols are costed identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Protocol as TypingProtocol
+
+from repro.chain.block import Block
+from repro.chain.store import BlockStore
+from repro.chain.transaction import Transaction
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.messages import BlockSyncRequest, BlockSyncResponse
+from repro.crypto.keys import KeyPair, Keyring
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.cpu import CpuModel
+from repro.sim.process import Process
+from repro.sim.loop import Simulator
+
+
+class CommitListener(TypingProtocol):
+    """Harness hook receiving protocol milestones."""
+
+    def on_propose(self, node: int, block: Block, now: float) -> None:
+        """A leader proposed ``block`` at ``now``."""
+
+    def on_commit(self, node: int, block: Block, now: float) -> None:
+        """``node`` committed ``block`` at ``now``."""
+
+    def on_reply(self, node: int, tx: Transaction, now: float) -> None:
+        """``node`` replied to ``tx``'s client at ``now``."""
+
+
+class TransactionSource(TypingProtocol):
+    """Where a proposer gets transactions (mempool abstraction)."""
+
+    def take(self, count: int, now: float) -> list[Transaction]:
+        """Remove and return up to ``count`` pending transactions."""
+
+    def pending(self) -> int:
+        """Number of transactions currently waiting."""
+
+
+class ReplicaBase(Process):
+    """Common machinery for all consensus replicas."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        config: ProtocolConfig,
+        keypair: KeyPair,
+        keyring: Keyring,
+        source: Optional[TransactionSource] = None,
+        listener: Optional[CommitListener] = None,
+    ) -> None:
+        super().__init__(sim, name=f"node{node_id}")
+        self.network = network
+        self.node_id = node_id
+        self.config = config
+        self.keypair = keypair
+        self.keyring = keyring
+        self.source = source
+        self.listener = listener
+        self.cpu = CpuModel()
+        self.store = BlockStore()
+        self.peers = [i for i in range(config.n) if i != node_id]
+        network.attach(node_id, self)
+
+        self._pending_cost = 0.0
+        self._outbox: list[tuple[int, Any]] = []
+        self._in_handler = False
+        # blocks waiting for a missing ancestor: hash -> [(block, action)]
+        self._awaiting_ancestor: dict[str, list[tuple[Block, Callable[[Block], None]]]] = {}
+        self._sync_requested: set[str] = set()
+        # tx key -> client network address awaiting a reply
+        self._client_reply_to: dict[tuple[int, int], int] = {}
+        # Live executed state (enables the Sec. 6.1 fast-read path).
+        self.state_machine = None
+        if config.maintain_state:
+            from repro.chain.execution import KVStateMachine
+
+            self.state_machine = KVStateMachine()
+        # Checkpointing (certified log compaction + state transfer).
+        self._checkpoint_votes: dict[tuple[int, str], dict[int, object]] = {}
+        self.checkpoint_certs: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Leader schedule
+    # ------------------------------------------------------------------
+    def leader_of(self, view: int) -> int:
+        """Round-robin leader schedule (override for stable-leader
+        protocols)."""
+        return view % self.config.n
+
+    def is_leader(self, view: int) -> bool:
+        """Is this node the leader of ``view``?"""
+        return self.leader_of(view) == self.node_id
+
+    # ------------------------------------------------------------------
+    # Network endpoint + CPU-accounted dispatch
+    # ------------------------------------------------------------------
+    def deliver(self, envelope: Envelope) -> None:
+        """Network entry point: queue the message behind the node's CPU."""
+        if not self.alive:
+            return
+        recv_cost = self.config.costs.recv_cost(envelope.size)
+        ready = self.cpu.account(self.sim.now, recv_cost)
+        epoch = self.epoch
+
+        def dispatch() -> None:
+            if self.alive and self.epoch == epoch:
+                self._dispatch(envelope)
+
+        if ready <= self.sim.now:
+            self.sim.call_soon(dispatch, label=f"{self.name}.dispatch")
+        else:
+            self.sim.schedule_at(ready, dispatch, label=f"{self.name}.dispatch")
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        handler = getattr(self, f"on_{type(envelope.payload).__name__}", None)
+        if handler is None:
+            self.sim.trace.record(self.sim.now, "unhandled_message", self.node_id,
+                                  kind=type(envelope.payload).__name__)
+            return
+        self.run_work(lambda: handler(envelope.payload, envelope.src))
+
+    def run_work(self, fn: Callable[[], None]) -> None:
+        """Run protocol work with cost accounting and deferred sends.
+
+        All :meth:`charge`/:meth:`send_to` calls inside ``fn`` accumulate;
+        when ``fn`` returns, the total cost is charged to the CPU and the
+        queued messages depart at the completion time.  Re-entrant calls
+        fold into the outer unit of work.
+        """
+        if self._in_handler:
+            fn()
+            return
+        self._in_handler = True
+        try:
+            fn()
+        finally:
+            self._in_handler = False
+            self._flush()
+
+    def _flush(self) -> None:
+        cost = self._pending_cost
+        outbox = self._outbox
+        self._pending_cost = 0.0
+        self._outbox = []
+        cost += self.config.costs.msg_send_ms * len(outbox)
+        finish = self.cpu.account(self.sim.now, cost)
+        if not outbox:
+            return
+        epoch = self.epoch
+
+        def transmit() -> None:
+            if not self.alive or self.epoch != epoch:
+                return
+            for dst, payload in outbox:
+                if dst == self.node_id:
+                    envelope = Envelope.make(self.node_id, self.node_id,
+                                             payload, self.sim.now)
+                    self.sim.schedule(self.LOOPBACK_EPSILON_MS,
+                                      lambda e=envelope: self.alive
+                                      and self.epoch == epoch
+                                      and self._dispatch(e),
+                                      label=f"{self.name}.loopback")
+                else:
+                    self.network.send(self.node_id, dst, payload)
+
+        if finish <= self.sim.now:
+            transmit()
+        else:
+            self.sim.schedule_at(finish, transmit, label=f"{self.name}.tx")
+
+    # ------------------------------------------------------------------
+    # Cost + send helpers (valid inside run_work)
+    # ------------------------------------------------------------------
+    def charge(self, cost_ms: float) -> None:
+        """Account ``cost_ms`` of CPU work for the current handler."""
+        self._pending_cost += cost_ms
+
+    def charge_enclave(self, enclave) -> None:
+        """Drain a trusted component's accrued cost onto this node's CPU."""
+        self.charge(enclave.drain_cost())
+
+    def charge_verify(self, count: int = 1) -> None:
+        """Account untrusted-side verification of ``count`` signatures."""
+        self.charge(self.config.crypto.verify_many(count))
+
+    def charge_sign(self, count: int = 1) -> None:
+        """Account untrusted-side creation of ``count`` signatures."""
+        self.charge(self.config.crypto.sign_ms * count)
+
+    #: Floor on loopback delivery delay: guarantees simulated time advances
+    #: even under zero-cost profiles (an n=1 committee would otherwise spin
+    #: through infinitely many views at one instant).
+    LOOPBACK_EPSILON_MS = 0.001
+
+    def send_to(self, dst: int, payload: Any) -> None:
+        """Queue a message to ``dst`` (departs when handler work finishes).
+
+        Self-addressed messages skip the network but still wait for the
+        current unit of work to complete (they ride the outbox like any
+        other send) and land one epsilon later.
+        """
+        self._outbox.append((dst, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = False) -> None:
+        """Queue a message to every peer (and optionally to self)."""
+        for dst in self.peers:
+            self._outbox.append((dst, payload))
+        if include_self:
+            self.send_to(self.node_id, payload)
+
+    # ------------------------------------------------------------------
+    # Batching / mempool
+    # ------------------------------------------------------------------
+    def make_batch(self) -> tuple[Transaction, ...]:
+        """Pull up to ``batch_size`` transactions from the source."""
+        if self.source is None:
+            return ()
+        txs = self.source.take(self.config.batch_size, self.sim.now)
+        self.charge(self.config.costs.batch_per_tx_ms * len(txs))
+        return tuple(txs)
+
+    def requeue_batch(self, txs: tuple[Transaction, ...]) -> None:
+        """Return a batch to the mempool after a failed proposal (e.g. the
+        checker refused because the view moved on) — the transactions must
+        not be lost."""
+        requeue = getattr(self.source, "requeue", None)
+        if requeue is not None and txs:
+            requeue(txs)
+
+    # ------------------------------------------------------------------
+    # Commitment
+    # ------------------------------------------------------------------
+    def commit_block(self, block: Block, *, reply: bool = True) -> list[Block]:
+        """Commit ``block`` (and uncommitted ancestors); notify listener.
+
+        Execution cost for every newly committed transaction is charged
+        here; replies to clients are reported through the listener (client
+        network hops are accounted by the workload layer).
+        """
+        newly = self.store.commit(block)
+        now = self.sim.now
+        for b in newly:
+            self.charge(self.config.costs.exec_cost(len(b.txs)))
+            if self.state_machine is not None:
+                self.state_machine.apply_batch(b.txs)
+            self.sim.trace.record(now, "commit", self.node_id,
+                                  block=b.hash, view=b.view, height=b.height)
+            if self.listener is not None:
+                self.listener.on_commit(self.node_id, b, now)
+            for tx in b.txs:
+                if reply and self.listener is not None:
+                    self.listener.on_reply(self.node_id, tx, now)
+                client = self._client_reply_to.pop(tx.key, None)
+                if client is not None:
+                    from repro.consensus.messages import ClientReply
+
+                    self.send_to(client, ClientReply(
+                        tx_key=tx.key, block_hash=b.hash, view=b.view,
+                        replica=self.node_id,
+                    ))
+            interval = self.config.checkpoint_interval
+            if interval and b.height > 0 and b.height % interval == 0:
+                self._emit_checkpoint_vote(b)
+        return newly
+
+    # ------------------------------------------------------------------
+    # Checkpointing (PBFT-style, see repro.chain.checkpoint)
+    # ------------------------------------------------------------------
+    def _emit_checkpoint_vote(self, block: Block) -> None:
+        from repro.chain.checkpoint import make_checkpoint_vote
+        from repro.consensus.messages import CheckpointVoteMsg
+
+        self.charge_sign(1)
+        vote = make_checkpoint_vote(self.keypair.private, block.height,
+                                    block.hash)
+        self.broadcast(CheckpointVoteMsg(vote=vote))
+        self._collect_checkpoint_vote(vote)
+
+    def on_CheckpointVoteMsg(self, msg, src: int) -> None:
+        """Collect checkpoint votes; compact on an f+1 certificate."""
+        self.charge_verify(1)
+        if not msg.vote.validate(self.keyring):
+            return
+        self._collect_checkpoint_vote(msg.vote)
+
+    def _collect_checkpoint_vote(self, vote) -> None:
+        from repro.chain.checkpoint import combine_checkpoint_votes
+
+        if vote.height in self.checkpoint_certs:
+            return
+        key = (vote.height, vote.block_hash)
+        bucket = self._checkpoint_votes.setdefault(key, {})
+        bucket[vote.signature.signer] = vote
+        threshold = self.config.f + 1
+        if len(bucket) < threshold:
+            return
+        certificate = combine_checkpoint_votes(list(bucket.values()), threshold)
+        self.checkpoint_certs[vote.height] = certificate
+        for stale in [k for k in self._checkpoint_votes if k[0] <= vote.height]:
+            del self._checkpoint_votes[stale]
+        if self.store.is_committed(vote.block_hash):
+            pruned = self.store.compact(retain=self.config.checkpoint_retain)
+            if pruned:
+                self.sim.trace.record(self.sim.now, "compaction", self.node_id,
+                                      height=vote.height, pruned=pruned)
+
+    def latest_checkpoint_cert(self):
+        """The highest checkpoint certificate held (or None)."""
+        if not self.checkpoint_certs:
+            return None
+        return self.checkpoint_certs[max(self.checkpoint_certs)]
+
+    def on_CheckpointTransfer(self, msg, src: int) -> None:
+        """Adopt a certified checkpoint (state transfer for laggards)."""
+        certificate, block = msg.certificate, msg.block
+        self.charge_verify(len(certificate.signatures))
+        if certificate.block_hash != block.hash or \
+                certificate.height != block.height:
+            return
+        if not certificate.validate(self.keyring, self.config.f + 1):
+            return
+        if block.height <= self.store.committed_tip.height:
+            return
+        self.store.install_checkpoint(block)
+        self.checkpoint_certs.setdefault(certificate.height, certificate)
+        if self.state_machine is not None:
+            # Executed state cannot be replayed across the gap; real
+            # systems ship a state snapshot with the checkpoint.  We mark
+            # the machine stale by resetting it (documented limitation).
+            from repro.chain.execution import KVStateMachine
+
+            self.state_machine = KVStateMachine()
+        self.sim.trace.record(self.sim.now, "checkpoint_installed",
+                              self.node_id, height=block.height)
+        self._retry_ancestry_waiters()
+
+    def _retry_ancestry_waiters(self) -> None:
+        pending = self._awaiting_ancestor
+        self._awaiting_ancestor = {}
+        self._sync_requested.clear()
+        for waiters in pending.values():
+            for waiting_block, action in waiters:
+                self.with_full_ancestry(waiting_block, action)
+
+    # ------------------------------------------------------------------
+    # Block synchronization (paper Sec. 4.4)
+    # ------------------------------------------------------------------
+    def with_full_ancestry(self, block: Block, action: Callable[[Block], None],
+                           hint: Optional[int] = None) -> None:
+        """Run ``action(block)`` once the block's full ancestry is local,
+        pulling missing ancestors from ``hint`` (or the proposer) first."""
+        self.store.add(block)
+        missing = self.store.missing_ancestor_hash(block)
+        if missing is None:
+            action(block)
+            return
+        self._awaiting_ancestor.setdefault(missing, []).append((block, action))
+        if missing not in self._sync_requested:
+            self._sync_requested.add(missing)
+            target = hint if hint is not None else (block.proposer if block.proposer >= 0 else None)
+            request = BlockSyncRequest(block_hash=missing, requester=self.node_id)
+            if target is not None and target != self.node_id:
+                self.send_to(target, request)
+            else:
+                self.broadcast(request)
+
+    def on_ClientRequest(self, msg, src: int) -> None:
+        """Accept a client transaction into the mempool; remember where to
+        send the reply once it commits."""
+        submit = getattr(self.source, "submit", None)
+        if submit is None:
+            return
+        self.store.track_txs = True
+        if self.store.is_committed_tx(msg.tx.key):
+            # Already executed: reply immediately (client retransmission).
+            from repro.consensus.messages import ClientReply
+
+            self.send_to(msg.reply_to, ClientReply(
+                tx_key=msg.tx.key,
+                block_hash=self.store.committed_tip.hash,
+                view=self.store.committed_tip.view,
+                replica=self.node_id,
+            ))
+            return
+        self._client_reply_to[msg.tx.key] = msg.reply_to
+        submit(msg.tx)
+
+    def on_ClientReadRequest(self, msg, src: int) -> None:
+        """Answer a consensus-free read from the executed state
+        (paper Sec. 6.1: the client needs n−f matching answers)."""
+        if self.state_machine is None:
+            return
+        from repro.consensus.messages import ClientReadReply
+
+        self.send_to(msg.reply_to, ClientReadReply(
+            key=msg.key,
+            value=self.state_machine.get(msg.key),
+            height=self.store.committed_tip.height,
+            replica=self.node_id,
+        ))
+
+    def on_BlockSyncRequest(self, msg: BlockSyncRequest, src: int) -> None:
+        """Serve a block we hold; if it was compacted away, ship the latest
+        certified checkpoint instead (state transfer)."""
+        block = self.store.get(msg.block_hash)
+        if block is not None:
+            self.send_to(src, BlockSyncResponse(block=block))
+            return
+        certificate = self.latest_checkpoint_cert()
+        if certificate is not None:
+            checkpoint_block = self.store.get(certificate.block_hash)
+            if checkpoint_block is not None:
+                from repro.consensus.messages import CheckpointTransfer
+
+                self.send_to(src, CheckpointTransfer(
+                    certificate=certificate, block=checkpoint_block))
+
+    def on_BlockSyncResponse(self, msg: BlockSyncResponse, src: int) -> None:
+        """A pulled block arrived: store it and retry whoever waited on it."""
+        block = msg.block
+        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        self.store.add(block)
+        self._sync_requested.discard(block.hash)
+        waiters = self._awaiting_ancestor.pop(block.hash, [])
+        for waiting_block, action in waiters:
+            self.with_full_ancestry(waiting_block, action, hint=src)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash: stop processing; in-flight work and timers are voided."""
+        super().crash()
+        self.sim.trace.record(self.sim.now, "crash", self.node_id)
+
+    def reboot(self) -> None:
+        """Reboot the host process (protocols layer recovery on top)."""
+        super().reboot()
+        self.cpu.reset()
+        self._pending_cost = 0.0
+        self._outbox = []
+        self._awaiting_ancestor.clear()
+        self._sync_requested.clear()
+        self.sim.trace.record(self.sim.now, "reboot", self.node_id)
+
+
+__all__ = ["ReplicaBase", "CommitListener", "TransactionSource"]

@@ -1,0 +1,126 @@
+"""Protocol and cost configuration.
+
+:class:`NodeCosts` collects the per-operation CPU costs that are *not*
+cryptographic (those live in :class:`~repro.crypto.signatures.CryptoProfile`).
+The defaults are calibrated so that the simulated Achilles prototype lands
+in the paper's reported ballpark (≈50 K TPS / 8.8 ms in LAN at f=30 with
+400×256 B batches) — see ``benchmarks/`` for the resulting figures.
+
+:class:`ProtocolConfig` is everything a replica needs to know about the
+deployment: committee size, quorums, batching, cost profiles, timeouts, and
+the persistent-counter factory used by -R variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.crypto.signatures import CryptoProfile
+from repro.errors import ConfigurationError
+from repro.tee.counters import NullCounter, PersistentCounter
+from repro.tee.enclave import EnclaveProfile
+
+
+@dataclass(frozen=True)
+class NodeCosts:
+    """Non-crypto CPU costs, in milliseconds."""
+
+    #: Fixed cost of receiving/dispatching one message (syscall + parse).
+    msg_recv_ms: float = 0.003
+    #: Fixed cost of handing one message to the NIC.
+    msg_send_ms: float = 0.002
+    #: Deserialization/validation cost per KB of message body.
+    deserialize_per_kb_ms: float = 0.0015
+    #: State-machine execution cost per transaction.
+    exec_per_tx_ms: float = 0.0005
+    #: Mempool/batching bookkeeping per transaction.
+    batch_per_tx_ms: float = 0.0002
+
+    def recv_cost(self, size_bytes: int) -> float:
+        """CPU cost of receiving a message of ``size_bytes``."""
+        return self.msg_recv_ms + self.deserialize_per_kb_ms * (size_bytes / 1024.0)
+
+    def exec_cost(self, n_txs: int) -> float:
+        """CPU cost of executing a batch of ``n_txs`` transactions."""
+        return self.exec_per_tx_ms * n_txs
+
+    @classmethod
+    def free(cls) -> "NodeCosts":
+        """Zero-cost profile for logic-only tests."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Deployment-wide configuration shared by all replicas."""
+
+    n: int
+    f: int
+    batch_size: int = 400
+    payload_size: int = 256
+    costs: NodeCosts = field(default_factory=NodeCosts)
+    crypto: CryptoProfile = field(default_factory=CryptoProfile)
+    enclave: EnclaveProfile = field(default_factory=EnclaveProfile)
+    #: Factory for the persistent counter the -R variants attach to every
+    #: trusted-component invocation; ``None`` means no rollback prevention.
+    counter_factory: Optional[Callable[[], PersistentCounter]] = None
+    #: Base view timeout (ms); the pacemaker doubles it on repeated failure.
+    base_timeout_ms: float = 500.0
+    #: Retry period for the recovery protocol (ms).
+    recovery_retry_ms: float = 50.0
+    #: How long a leader with an empty mempool waits before re-checking.
+    batch_wait_ms: float = 2.0
+    #: Propose empty blocks instead of waiting for transactions.
+    allow_empty_blocks: bool = False
+    #: Maintain a live key-value state machine on every replica (enables
+    #: the consensus-free read path of paper Sec. 6.1); off by default to
+    #: keep large benchmark runs lean.
+    maintain_state: bool = False
+    #: Exchange checkpoint votes every this many committed blocks and
+    #: compact the log on each f+1 certificate (None = never compact).
+    checkpoint_interval: Optional[int] = None
+    #: Committed blocks kept after a compaction.
+    checkpoint_retain: int = 64
+    #: Re-derive execution results when validating blocks (tests); when off,
+    #: validation is cost-charged but the recomputation is skipped, which
+    #: keeps large benchmark runs fast without changing simulated time.
+    deep_validation: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.f < 0:
+            raise ConfigurationError(f"invalid committee: n={self.n}, f={self.f}")
+
+    @property
+    def quorum(self) -> int:
+        """Votes needed: f+1 for 2f+1 committees, 2f+1 for 3f+1 ones."""
+        if self.n == 2 * self.f + 1:
+            return self.f + 1
+        if self.n == 3 * self.f + 1:
+            return 2 * self.f + 1
+        # General majority-of-honest fallback.
+        return self.n - self.f
+
+    def make_counter(self) -> PersistentCounter:
+        """Instantiate this deployment's persistent counter (or a free one)."""
+        if self.counter_factory is None:
+            return NullCounter()
+        return self.counter_factory()
+
+    def with_(self, **changes) -> "ProtocolConfig":
+        """Functional update helper for tests and sweeps."""
+        return replace(self, **changes)
+
+    @classmethod
+    def tee_committee(cls, f: int, **kwargs) -> "ProtocolConfig":
+        """n = 2f+1 committee (Achilles, Damysus, OneShot, BRaft)."""
+        return cls(n=2 * f + 1, f=f, **kwargs)
+
+    @classmethod
+    def bft_committee(cls, f: int, **kwargs) -> "ProtocolConfig":
+        """n = 3f+1 committee (FlexiBFT)."""
+        return cls(n=3 * f + 1, f=f, **kwargs)
+
+
+__all__ = ["NodeCosts", "ProtocolConfig"]

@@ -1,0 +1,143 @@
+"""Protocol-agnostic message types.
+
+Each protocol defines its own consensus messages next to its node class;
+the messages here are shared: client interaction and block
+synchronization (paper Sec. 4.4, "Block synchronization": a node missing
+ancestors pulls them from peers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.net.message import HASH_BYTES
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client submits one transaction to a replica.
+
+    ``reply_to`` is the client's network address for the reply.
+    """
+
+    tx: Transaction
+    reply_to: int
+
+    def wire_size(self) -> int:
+        """Serialized size of the request."""
+        return self.tx.wire_size() + 4
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """A replica's reply: the transaction was executed in a committed block.
+
+    Carries the block hash and view plus a certificate reference; with
+    execution results embedded in blocks, a single valid reply convinces
+    the client (reply responsiveness, paper Sec. 6.1).
+    """
+
+    tx_key: tuple[int, int]
+    block_hash: str
+    view: int
+    replica: int
+
+    def wire_size(self) -> int:
+        """Serialized size of the reply."""
+        return 16 + HASH_BYTES + 8 + 4
+
+
+@dataclass(frozen=True)
+class ClientReadRequest:
+    """A client reads a key without running consensus (paper Sec. 6.1).
+
+    Replicas answer from their executed state; the client accepts a value
+    once n−f replicas agree on it, which makes reads linearizable with
+    respect to committed writes without a consensus round.
+    """
+
+    key: str
+    reply_to: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.key.encode()) + 8
+
+
+@dataclass(frozen=True)
+class ClientReadReply:
+    """A replica's answer to a fast read."""
+
+    key: str
+    value: str | None
+    height: int
+    replica: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        value_len = len(self.value.encode()) if self.value is not None else 1
+        return len(self.key.encode()) + value_len + 16
+
+
+@dataclass(frozen=True)
+class BlockSyncRequest:
+    """Pull request for a missing block by hash."""
+
+    block_hash: str
+    requester: int
+
+    def wire_size(self) -> int:
+        """Serialized size of the request."""
+        return HASH_BYTES + 4
+
+
+@dataclass(frozen=True)
+class BlockSyncResponse:
+    """A peer returns a block (and the chain walks on from there)."""
+
+    block: Block
+
+    def wire_size(self) -> int:
+        """Serialized size of the response."""
+        return self.block.wire_size()
+
+
+@dataclass(frozen=True)
+class CheckpointVoteMsg:
+    """Node → all: a checkpoint vote (PBFT-style log compaction)."""
+
+    vote: "CheckpointVote"
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.vote.wire_size()
+
+
+@dataclass(frozen=True)
+class CheckpointTransfer:
+    """Peer → lagging node: a certified checkpoint block (state transfer
+    when the requested ancestor has been compacted away)."""
+
+    certificate: "CheckpointCertificate"
+    block: Block
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.certificate.wire_size() + self.block.wire_size()
+
+
+from repro.chain.checkpoint import CheckpointCertificate, CheckpointVote  # noqa: E402
+
+
+__all__ = [
+    "ClientRequest",
+    "ClientReply",
+    "ClientReadRequest",
+    "ClientReadReply",
+    "BlockSyncRequest",
+    "BlockSyncResponse",
+    "CheckpointVoteMsg",
+    "CheckpointTransfer",
+]

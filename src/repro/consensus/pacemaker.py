@@ -1,0 +1,71 @@
+"""Pacemaker: view synchronization via exponentially growing timeouts.
+
+Paper Sec. 4.1: the pacemaker's goals are (1) all correct nodes and a
+unique leader share a view for long enough, and (2) the leader extends a
+block all correct nodes will vote for.  Goal (1) uses the standard
+increase-timeout-until-progress rule [PBFT, Tendermint]; goal (2) is the
+protocol's job (NEW-VIEW collection).
+
+:class:`Pacemaker` owns the view timer for a replica: the protocol calls
+:meth:`view_started` when it enters a view and :meth:`progress` whenever a
+block commits; if the timer fires first, the protocol's ``on_timeout``
+callback runs (which in Achilles calls ``TEEview`` and ships a NEW-VIEW
+certificate to the next leader).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import Process, Timer
+
+
+class Pacemaker:
+    """Per-replica view timer with exponential backoff."""
+
+    def __init__(
+        self,
+        process: Process,
+        base_timeout_ms: float,
+        on_timeout: Callable[[int], None],
+        max_backoff_doublings: int = 10,
+    ) -> None:
+        self._process = process
+        self.base_timeout_ms = base_timeout_ms
+        self._on_timeout = on_timeout
+        self._max_doublings = max_backoff_doublings
+        self._timer: Timer = process.timer("pacemaker")
+        self._consecutive_timeouts = 0
+        self.current_view = 0
+        self.timeouts_fired = 0
+
+    @property
+    def current_timeout_ms(self) -> float:
+        """The timeout applied to the current view."""
+        doublings = min(self._consecutive_timeouts, self._max_doublings)
+        return self.base_timeout_ms * (2 ** doublings)
+
+    def view_started(self, view: int) -> None:
+        """(Re)arm the timer for ``view``."""
+        self.current_view = view
+        self._timer.start(self.current_timeout_ms, self._fire)
+
+    def progress(self) -> None:
+        """A block committed: reset backoff (the view advanced healthily)."""
+        self._consecutive_timeouts = 0
+
+    def stop(self) -> None:
+        """Disarm (used on crash)."""
+        self._timer.cancel()
+
+    def _fire(self) -> None:
+        self.timeouts_fired += 1
+        self._consecutive_timeouts += 1
+        view = self.current_view
+        self._process.sim.trace.record(
+            self._process.sim.now, "view_timeout", None, view=view
+        )
+        self._on_timeout(view)
+
+
+__all__ = ["Pacemaker"]

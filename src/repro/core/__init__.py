@@ -1,0 +1,42 @@
+"""Achilles — the paper's primary contribution.
+
+* :mod:`repro.core.certificates` — the five certificates of Sec. 4.2 plus
+  the recovery request/reply certificates of Sec. 4.5.
+* :mod:`repro.core.checker` — the CHECKER trusted component (Algorithm 2
+  plus the TEE side of Algorithm 3).
+* :mod:`repro.core.accumulator` — the stateless ACCUMULATOR component.
+* :mod:`repro.core.node` — normal-case operations (Algorithm 1) and the
+  untrusted side of rollback-resilient recovery (Algorithm 3).
+* :mod:`repro.core.protocol` — cluster construction helpers.
+"""
+
+from repro.core.certificates import (
+    BlockCertificate,
+    StoreCertificate,
+    CommitmentCertificate,
+    AccumulatorCertificate,
+    ViewCertificate,
+    RecoveryRequest,
+    RecoveryReply,
+)
+from repro.core.checker import AchillesChecker, CheckerState
+from repro.core.accumulator import AchillesAccumulator
+from repro.core.node import AchillesNode, NodeStatus
+from repro.core.protocol import AchillesCluster, build_achilles_cluster
+
+__all__ = [
+    "BlockCertificate",
+    "StoreCertificate",
+    "CommitmentCertificate",
+    "AccumulatorCertificate",
+    "ViewCertificate",
+    "RecoveryRequest",
+    "RecoveryReply",
+    "AchillesChecker",
+    "CheckerState",
+    "AchillesAccumulator",
+    "AchillesNode",
+    "NodeStatus",
+    "AchillesCluster",
+    "build_achilles_cluster",
+]

@@ -1,0 +1,47 @@
+"""Ablation variants of the Achilles node (for the ablation benchmarks).
+
+:class:`NoNewViewOptimizationNode` disables the Sec. 4.4 New-View
+optimization: the leader of view v+1 never proposes directly from a
+commitment certificate; instead every node runs TEEview after committing
+and ships a view certificate, and the new leader must accumulate f+1 of
+them before proposing — one extra communication step plus an accumulator
+call per view.  Comparing it against stock Achilles quantifies what the
+optimization buys.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import AchillesNode, NewView, NodeStatus
+from repro.errors import EnclaveAbort
+
+
+class NoNewViewOptimizationNode(AchillesNode):
+    """Achilles without the New-View optimization."""
+
+    def _apply_commitment(self, qc, block) -> None:
+        if self.status is not NodeStatus.RUNNING:
+            return
+        if self.store.is_committed(block.hash):
+            return
+        if not self.store.has_full_ancestry(block):
+            self.with_full_ancestry(block, lambda b: self._apply_commitment(qc, b))
+            return
+        self.commit_block(block)
+        self.preb_block = block
+        self.preb_qc = qc
+        self.pacemaker.progress()
+        self._prune(qc.view)
+        # No fast path: enter the next view through TEEview and send the
+        # certificate to its leader, who must collect f+1 of them.
+        try:
+            cert = self.checker.tee_view()
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.checker)
+        self.view = cert.current_view
+        self.pacemaker.view_started(self.view)
+        self.send_to(self.leader_of(self.view), NewView(cert))
+
+
+__all__ = ["NoNewViewOptimizationNode"]

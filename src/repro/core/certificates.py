@@ -1,0 +1,225 @@
+"""Achilles certificates (paper Sec. 4.2 and Sec. 4.5).
+
+Every certificate is a frozen dataclass carrying the signed statement and
+the signature(s).  Statement tuples start with the paper's message-type tag
+(PROP, COMMIT, DECIDE, ACC, NEW-VIEW, REQ, RPY) so a signature can never be
+replayed across certificate types.
+
+Validation is split in two: a ``statement()`` method producing the exact
+tuple that was signed, and ``validate(keyring, ...)`` which checks the
+signature(s).  Trusted components sign these inside the enclave; untrusted
+code (and other nodes) verify them with the PKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import Keyring
+from repro.crypto.signatures import Signature, SignatureList, verify
+from repro.net.message import HASH_BYTES, SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class BlockCertificate:
+    """``⟨PROP, h, v⟩_σ`` — the leader's TEE certifies block ``h`` as the
+    unique proposal of view ``v`` (produced by TEEprepare)."""
+
+    block_hash: str
+    view: int
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("PROP", self.block_hash, self.view)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 4 + HASH_BYTES + 8 + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class StoreCertificate:
+    """``⟨COMMIT, h, v⟩_σ`` — a node's TEE certifies that it stored block
+    ``h`` of view ``v`` (produced by TEEstore); doubles as its vote."""
+
+    block_hash: str
+    view: int
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("COMMIT", self.block_hash, self.view)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 6 + HASH_BYTES + 8 + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class CommitmentCertificate:
+    """``⟨DECIDE, h, v⟩_{σ⃗^{f+1}}`` — f+1 store certificates combined by
+    the leader; proof that at least one correct node holds the block."""
+
+    block_hash: str
+    view: int
+    signatures: SignatureList
+
+    def statement(self) -> tuple:
+        """The tuple each member signature covers (a store statement)."""
+        return ("COMMIT", self.block_hash, self.view)
+
+    def validate(self, keyring: Keyring, threshold: int) -> bool:
+        """≥ ``threshold`` distinct valid signers over the store statement."""
+        valid = {
+            s.signer
+            for s in self.signatures.signatures
+            if verify(keyring, s, *self.statement())
+        }
+        return len(valid) >= threshold
+
+    def signers(self) -> set[int]:
+        """Distinct signer ids."""
+        return self.signatures.distinct_signers()
+
+    def wire_size(self) -> int:
+        """Serialized size (grows with the signature vector)."""
+        return 6 + HASH_BYTES + 8 + SIGNATURE_BYTES * len(self.signatures)
+
+
+@dataclass(frozen=True)
+class AccumulatorCertificate:
+    """``⟨ACC, h, v, v', i⃗d⟩_σ`` — the ACCUMULATOR's proof that ``h`` (a
+    block stored at view ``v``) is the highest-view stored block among f+1
+    view certificates for target view ``v'``.
+
+    The paper's Algorithm 2 checks the target view against the checker's
+    ``vi``; since the ACCUMULATOR is stateless (Sec. 4.3) we carry the
+    target view in the certificate and let TEEprepare compare it with the
+    CHECKER's view — equivalent, but keeps the accumulator stateless.
+    """
+
+    block_hash: str
+    block_view: int
+    target_view: int
+    ids: tuple[int, ...]
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("ACC", self.block_hash, self.block_view, self.target_view, self.ids)
+
+    def validate(self, keyring: Keyring, quorum: int) -> bool:
+        """Signature valid and the id vector names ≥ quorum distinct nodes."""
+        if len(set(self.ids)) < quorum:
+            return False
+        return verify(keyring, self.signature, *self.statement())
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 3 + HASH_BYTES + 16 + 4 * len(self.ids) + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class ViewCertificate:
+    """``⟨NEW-VIEW, h, v, v'⟩_σ`` — produced by TEEview: the node's latest
+    stored block is ``h`` from view ``v``; the node is now at view ``v'``.
+
+    ``v'`` prevents stale certificates being replayed by Byzantine nodes.
+    """
+
+    block_hash: str
+    block_view: int
+    current_view: int
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("NEW-VIEW", self.block_hash, self.block_view, self.current_view)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    @property
+    def signer(self) -> int:
+        """Who issued the certificate."""
+        return self.signature.signer
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 8 + HASH_BYTES + 16 + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class RecoveryRequest:
+    """``⟨REQ, non⟩_σ`` — a rebooting node asks peers for checker state;
+    the nonce prevents replayed replies (Sec. 4.5 step ①)."""
+
+    nonce: str
+    requester: int
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("REQ", self.nonce, self.requester)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature and claimed identity."""
+        return self.signature.signer == self.requester and verify(
+            keyring, self.signature, *self.statement()
+        )
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 3 + HASH_BYTES + 4 + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class RecoveryReply:
+    """``⟨RPY, preh, prev, vi, k, non⟩_σ`` — a peer's checker reports its
+    latest stored block (preh/prev), its current view ``vi``, the
+    requester's id ``k``, and the request nonce (Sec. 4.5 step ②)."""
+
+    preh: str
+    prepv: int
+    vi: int
+    requester: int
+    nonce: str
+    signature: Signature
+
+    def statement(self) -> tuple:
+        """The signed tuple."""
+        return ("RPY", self.preh, self.prepv, self.vi, self.requester, self.nonce)
+
+    def validate(self, keyring: Keyring) -> bool:
+        """Check the signature."""
+        return verify(keyring, self.signature, *self.statement())
+
+    @property
+    def signer(self) -> int:
+        """Who issued the reply."""
+        return self.signature.signer
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 3 + 2 * HASH_BYTES + 20 + SIGNATURE_BYTES
+
+
+__all__ = [
+    "BlockCertificate",
+    "StoreCertificate",
+    "CommitmentCertificate",
+    "AccumulatorCertificate",
+    "ViewCertificate",
+    "RecoveryRequest",
+    "RecoveryReply",
+]

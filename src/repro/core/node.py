@@ -1,0 +1,615 @@
+"""Achilles replica: normal-case operations (Algorithm 1) and the
+untrusted half of rollback-resilient recovery (Algorithm 3).
+
+One view commits one block in a single voting phase:
+
+* **NEW-VIEW** — on timeout, nodes ship view certificates to the next
+  leader, which accumulates f+1 of them to learn the mandatory parent.
+  On the happy path this phase is skipped: a leader holding the previous
+  view's commitment certificate proposes immediately (New-View
+  optimization, Sec. 4.4).
+* **COMMIT** — the leader executes a batch, certifies the block through
+  its CHECKER (TEEprepare) and broadcasts it; backups validate, store it
+  through TEEstore, and return store certificates.
+* **DECIDE** — f+1 store certificates form the commitment certificate;
+  the leader commits/replies and broadcasts the certificate; everyone
+  enters the next view.
+
+End-to-end this is four communication steps (client→leader, proposal,
+vote, reply), with O(n) messages per view.  No persistent counter is ever
+touched: a rebooting node runs :meth:`AchillesNode.reboot` →
+:meth:`_begin_recovery` instead (Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.block import Block, create_leaf
+from repro.chain.execution import execute_transactions
+from repro.consensus.base import CommitListener, ReplicaBase, TransactionSource
+from repro.consensus.config import ProtocolConfig
+from repro.consensus.pacemaker import Pacemaker
+from repro.core.accumulator import AchillesAccumulator
+from repro.core.certificates import (
+    AccumulatorCertificate,
+    BlockCertificate,
+    CommitmentCertificate,
+    RecoveryReply,
+    RecoveryRequest,
+    StoreCertificate,
+    ViewCertificate,
+)
+from repro.core.checker import AchillesChecker
+from repro.crypto.keys import KeyPair, Keyring
+from repro.crypto.signatures import SignatureList
+from repro.errors import EnclaveAbort
+from repro.net.network import Network
+from repro.sim.loop import Simulator
+
+
+# ----------------------------------------------------------------------
+# Wire messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Proposal:
+    """Leader → all: the view's block plus its TEE block certificate."""
+
+    block: Block
+    block_cert: BlockCertificate
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.block.wire_size() + self.block_cert.wire_size()
+
+
+@dataclass(frozen=True)
+class StoreVote:
+    """Backup → leader: the store certificate (the vote)."""
+
+    cert: StoreCertificate
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.cert.wire_size()
+
+
+@dataclass(frozen=True)
+class Decide:
+    """Leader → all: the commitment certificate; enter the next view."""
+
+    qc: CommitmentCertificate
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.qc.wire_size()
+
+
+@dataclass(frozen=True)
+class NewView:
+    """Node → next leader: view certificate after a timeout/recovery."""
+
+    cert: ViewCertificate
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.cert.wire_size()
+
+
+@dataclass(frozen=True)
+class RecoveryRequestMsg:
+    """Rebooting node → all: please report your checker state."""
+
+    request: RecoveryRequest
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.request.wire_size()
+
+
+@dataclass(frozen=True)
+class RecoveryResponseMsg:
+    """Peer → rebooting node: checker report plus its latest stored block."""
+
+    reply: RecoveryReply
+    block: Optional[Block]
+    qc: Optional[CommitmentCertificate]
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        size = self.reply.wire_size()
+        if self.block is not None:
+            size += self.block.wire_size()
+        if self.qc is not None:
+            size += self.qc.wire_size()
+        return size
+
+
+class NodeStatus(enum.Enum):
+    """Replica lifecycle status."""
+
+    RUNNING = "running"
+    RECOVERING = "recovering"
+    CRASHED = "crashed"
+
+
+@dataclass
+class RecoveryStats:
+    """One recovery episode's timing breakdown (Table 2)."""
+
+    rebooted_at: float
+    init_ms: float = 0.0
+    protocol_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        """Initialization + recovery-protocol latency."""
+        return self.init_ms + self.protocol_ms
+
+
+class AchillesNode(ReplicaBase):
+    """An Achilles replica."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        config: ProtocolConfig,
+        keypair: KeyPair,
+        keyring: Keyring,
+        source: Optional[TransactionSource] = None,
+        listener: Optional[CommitListener] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, config, keypair, keyring, source, listener)
+        self.checker = AchillesChecker(
+            node_id=node_id,
+            n=config.n,
+            f=config.f,
+            private_key=keypair.private,
+            keyring=keyring,
+            profile=config.enclave,
+            crypto=config.crypto,
+        )
+        self.accumulator = AchillesAccumulator(
+            node_id=node_id,
+            f=config.f,
+            private_key=keypair.private,
+            keyring=keyring,
+            profile=config.enclave,
+            crypto=config.crypto,
+        )
+        self.status = NodeStatus.RUNNING
+        self.view = 0
+        # ⟨b, φ_b, φ_c⟩ — the latest stored block and its certificates.
+        self.preb_block: Block = self.store.genesis
+        self.preb_cert: Optional[BlockCertificate] = None
+        self.preb_qc: Optional[CommitmentCertificate] = None
+
+        self._view_certs: dict[int, dict[int, ViewCertificate]] = {}
+        self._votes: dict[tuple[str, int], dict[int, StoreCertificate]] = {}
+        self._proposed_view = -1
+        self._decided_views: set[int] = set()
+        self._batch_timer = self.timer("batch_wait")
+
+        self.pacemaker = Pacemaker(self, config.base_timeout_ms, self._on_timeout)
+
+        # Recovery bookkeeping
+        self._recovery_replies: dict[int, tuple[RecoveryReply, Optional[Block],
+                                                Optional[CommitmentCertificate]]] = {}
+        self._recovery_nonce: Optional[str] = None
+        self._recovery_timer = self.timer("recovery_retry")
+        self._current_recovery: Optional[RecoveryStats] = None
+        self._recovery_started_at = 0.0
+        self.recovery_episodes: list[RecoveryStats] = []
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Enter view 1 and ship the initial view certificate (bootstrap
+        plays the timeout path once so every checker leaves view 0)."""
+        self.run_work(self._advance_via_teeview)
+
+    def _advance_via_teeview(self) -> None:
+        try:
+            cert = self.checker.tee_view()
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.checker)
+        self.view = cert.current_view
+        self.pacemaker.view_started(self.view)
+        self.send_to(self.leader_of(self.view), NewView(cert))
+
+    # ------------------------------------------------------------------
+    # Timeout path (NEW-VIEW phase, Algorithm 1 lines 38–43)
+    # ------------------------------------------------------------------
+    def _on_timeout(self, view: int) -> None:
+        if self.status is not NodeStatus.RUNNING:
+            return
+        self.run_work(self._advance_via_teeview)
+
+    def on_NewView(self, msg: NewView, src: int) -> None:
+        """Leader side: collect view certificates (COMMIT phase trigger)."""
+        if self.status is not NodeStatus.RUNNING:
+            return
+        cert = msg.cert
+        # Validation is logical only here: the ACCUMULATOR re-verifies all
+        # f+1 certificates inside the enclave (where the cost is charged),
+        # per Algorithm 2 — charging here too would double-count.
+        if not cert.validate(self.keyring):
+            return
+        if not self.is_leader(cert.current_view):
+            return
+        bucket = self._view_certs.setdefault(cert.current_view, {})
+        bucket[cert.signer] = cert
+        self._try_accumulate(cert.current_view)
+
+    def _try_accumulate(self, target_view: int) -> None:
+        if self._proposed_view >= target_view:
+            return
+        if self.view > target_view:
+            return
+        bucket = self._view_certs.get(target_view, {})
+        if len(bucket) < self.config.f + 1:
+            return
+        certs = list(bucket.values())
+        best = max(certs, key=lambda c: (c.block_view, -c.signer))
+        parent = self.store.get(best.block_hash)
+        if parent is None:
+            # Pull the parent block before extending it.
+            self._obtain_block(best.block_hash, best.signer,
+                               lambda _b: self._try_accumulate(target_view))
+            return
+        if not self.store.has_full_ancestry(parent):
+            self.with_full_ancestry(parent, lambda _b: self._try_accumulate(target_view),
+                                    hint=best.signer)
+            return
+        # The untrusted view may lag the checker if our own TEEview for
+        # target_view already ran; the checker is authoritative.
+        if self.checker.state.vi != target_view or self.checker.recovering:
+            return
+        try:
+            acc = self.accumulator.tee_accum(best, certs)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.accumulator)
+        self._propose(parent, acc, target_view)
+
+    # ------------------------------------------------------------------
+    # COMMIT phase — leader side (Algorithm 1 lines 5–23, 45–49)
+    # ------------------------------------------------------------------
+    def _propose(
+        self,
+        parent: Block,
+        justification: AccumulatorCertificate | CommitmentCertificate,
+        view: int,
+    ) -> None:
+        if self._proposed_view >= view or self.status is not NodeStatus.RUNNING:
+            return
+        txs = self.make_batch()
+        if not txs and not self.config.allow_empty_blocks:
+            # Wait briefly for transactions, then retry the same proposal.
+            self._batch_timer.start(
+                self.config.batch_wait_ms,
+                lambda: self.run_work(lambda: self._propose(parent, justification, view)),
+            )
+            return
+        self._batch_timer.cancel()
+
+        op = execute_transactions(txs, parent.hash)
+        self.charge(self.config.costs.exec_cost(len(txs)))
+        block = create_leaf(txs, op, parent, view=view, proposer=self.node_id)
+        try:
+            block_cert = self.checker.tee_prepare(block, justification)
+        except EnclaveAbort:
+            self.requeue_batch(txs)
+            return
+        finally:
+            self.charge_enclave(self.checker)
+
+        self._proposed_view = view
+        self.view = view
+        self.pacemaker.view_started(view)
+        self.store.add(block)
+        if self.listener is not None:
+            self.listener.on_propose(self.node_id, block, self.sim.now)
+        self.sim.trace.record(self.sim.now, "propose", self.node_id,
+                              view=view, block=block.hash, txs=len(block.txs))
+        self.broadcast(Proposal(block=block, block_cert=block_cert))
+        # The leader stores (votes for) its own block (Algorithm 1 line 18
+        # covers "all nodes").
+        self._store_and_vote(block, block_cert)
+
+    def on_StoreVote(self, msg: StoreVote, src: int) -> None:
+        """Leader side of the DECIDE phase: collect f+1 store certificates."""
+        if self.status is not NodeStatus.RUNNING:
+            return
+        cert = msg.cert
+        if not self.is_leader(cert.view):
+            return
+        key = (cert.block_hash, cert.view)
+        if cert.view in self._decided_views:
+            return
+        self.charge_verify(1)
+        if not cert.validate(self.keyring):
+            return
+        bucket = self._votes.setdefault(key, {})
+        bucket[cert.signature.signer] = cert
+        if len(bucket) < self.config.f + 1:
+            return
+        self._decided_views.add(cert.view)
+        sigs = SignatureList.of(
+            c.signature for c in list(bucket.values())[: self.config.f + 1]
+        )
+        qc = CommitmentCertificate(block_hash=cert.block_hash, view=cert.view, signatures=sigs)
+        self._handle_commitment(qc, src=self.node_id)
+        self.broadcast(Decide(qc=qc))
+
+    # ------------------------------------------------------------------
+    # COMMIT phase — backup side (Algorithm 1 lines 18–23)
+    # ------------------------------------------------------------------
+    def on_Proposal(self, msg: Proposal, src: int) -> None:
+        """Validate and store the leader's block; return the vote."""
+        if self.status is not NodeStatus.RUNNING:
+            return
+        block, cert = msg.block, msg.block_cert
+        # The block certificate is re-verified (and charged) inside
+        # TEEstore; here the host only pays for hashing the block body it
+        # needs for the structural comparisons.
+        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        if not cert.validate(self.keyring):
+            return
+        if cert.block_hash != block.hash or cert.view != block.view:
+            return
+        if cert.signature.signer != self.leader_of(block.view):
+            return
+        # Block validity: full ancestry plus correct execution results.
+        self.with_full_ancestry(
+            block, lambda b: self.run_work(lambda: self._validated_store(b, cert)), hint=src
+        )
+
+    def _validated_store(self, block: Block, cert: BlockCertificate) -> None:
+        if self.status is not NodeStatus.RUNNING:
+            return
+        self.charge(self.config.costs.exec_cost(len(block.txs)))
+        if self.config.deep_validation:
+            parent = self.store.get(block.parent_hash)
+            if parent is None:
+                return
+            expected = execute_transactions(block.txs, parent.hash)
+            if expected != block.op:
+                self.sim.trace.record(self.sim.now, "bad_execution_results",
+                                      self.node_id, block=block.hash)
+                return
+        self._store_and_vote(block, cert)
+
+    def _store_and_vote(self, block: Block, cert: BlockCertificate) -> None:
+        try:
+            store_cert = self.checker.tee_store(cert)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.checker)
+        self.preb_block = block
+        self.preb_cert = cert
+        self.preb_qc = None
+        if block.view > self.view:
+            self.view = block.view
+            self.pacemaker.view_started(self.view)
+        # Self-votes go through the loopback queue (not a direct call) so a
+        # commit can never synchronously re-enter _propose — with n = 1 the
+        # whole propose→vote→commit cycle would otherwise recurse.
+        self.send_to(self.leader_of(block.view), StoreVote(cert=store_cert))
+
+    # ------------------------------------------------------------------
+    # DECIDE phase — all nodes (Algorithm 1 lines 31–36)
+    # ------------------------------------------------------------------
+    def on_Decide(self, msg: Decide, src: int) -> None:
+        """Commit on a valid commitment certificate; enter the next view."""
+        if self.status is not NodeStatus.RUNNING:
+            return
+        qc = msg.qc
+        if self.store.is_committed(qc.block_hash):
+            return
+        self.charge_verify(len(qc.signatures))
+        if not qc.validate(self.keyring, self.config.f + 1):
+            return
+        self._handle_commitment(qc, src)
+
+    def _handle_commitment(self, qc: CommitmentCertificate, src: int) -> None:
+        block = self.store.get(qc.block_hash)
+        if block is None:
+            self._obtain_block(qc.block_hash, src, lambda b: self._apply_commitment(qc, b))
+            return
+        self._apply_commitment(qc, block)
+
+    def _apply_commitment(self, qc: CommitmentCertificate, block: Block) -> None:
+        if self.status is not NodeStatus.RUNNING:
+            return
+        if self.store.is_committed(block.hash):
+            return
+        if not self.store.has_full_ancestry(block):
+            self.with_full_ancestry(block, lambda b: self._apply_commitment(qc, b))
+            return
+        self.commit_block(block)
+        self.preb_block = block
+        self.preb_qc = qc
+        self.pacemaker.progress()
+        next_view = qc.view + 1
+        if next_view > self.view:
+            self.view = next_view
+            self.pacemaker.view_started(next_view)
+        self._prune(qc.view)
+        # New-View optimization: the next leader proposes straight away.
+        if self.is_leader(next_view) and self._proposed_view < next_view:
+            self._propose(block, qc, next_view)
+
+    def _prune(self, committed_view: int) -> None:
+        """Drop per-view collections that can no longer matter."""
+        for view in [v for v in self._view_certs if v <= committed_view]:
+            del self._view_certs[view]
+        for key in [k for k in self._votes if k[1] <= committed_view]:
+            del self._votes[key]
+        self._decided_views = {v for v in self._decided_views if v > committed_view}
+
+    # ------------------------------------------------------------------
+    # Block pulling helper
+    # ------------------------------------------------------------------
+    def _obtain_block(self, block_hash: str, hint: int, action) -> None:
+        from repro.consensus.messages import BlockSyncRequest
+
+        waiters = self._awaiting_ancestor.setdefault(block_hash, [])
+        waiters.append((self.store.genesis, lambda _b: action(self.store.get(block_hash))))
+        if block_hash not in self._sync_requested:
+            self._sync_requested.add(block_hash)
+            request = BlockSyncRequest(block_hash=block_hash, requester=self.node_id)
+            if hint != self.node_id:
+                self.send_to(hint, request)
+            else:
+                self.broadcast(request)
+
+    # ------------------------------------------------------------------
+    # Reboot + rollback-resilient recovery (Algorithm 3)
+    # ------------------------------------------------------------------
+    def reboot(self) -> None:
+        """Come back from a crash: restart enclaves, then run recovery.
+
+        The volatile checker state is gone; any sealed data the OS returns
+        is untrusted (and Achilles never seals consensus state anyway), so
+        the node *must* complete Algorithm 3 before touching consensus.
+        """
+        super().reboot()
+        self.status = NodeStatus.RECOVERING
+        self.checker.reboot()
+        self.accumulator.reboot()
+        self._view_certs.clear()
+        self._votes.clear()
+        self._decided_views.clear()
+        self._recovery_replies.clear()
+        self._recovery_nonce = None
+        self.preb_cert = None
+        self.preb_qc = None
+        self.pacemaker.stop()
+
+        stats = RecoveryStats(rebooted_at=self.sim.now)
+        self._current_recovery = stats
+        init_ms = self.checker.restart(self.config.n - 1)
+        # The accumulator restarts within the same enclave-bringup window;
+        # its cost is covered by the checker's init (one SGX restart).
+        self.accumulator.restart(0)
+        stats.init_ms = init_ms
+        self.after(init_ms, lambda: self.run_work(self._begin_recovery),
+                   label=f"{self.name}.recovery_init")
+
+    def _begin_recovery(self) -> None:
+        """Step ①: broadcast a fresh recovery request."""
+        if self.status is not NodeStatus.RECOVERING:
+            return
+        self._recovery_replies.clear()
+        try:
+            request = self.checker.tee_request()
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.checker)
+        self._recovery_nonce = request.nonce
+        self._recovery_started_at = self.sim.now
+        self.sim.trace.record(self.sim.now, "recovery_request", self.node_id,
+                              nonce=request.nonce[:8])
+        self.broadcast(RecoveryRequestMsg(request=request))
+        self._recovery_timer.start(
+            self.config.recovery_retry_ms,
+            lambda: self.run_work(self._begin_recovery),
+        )
+
+    def on_RecoveryRequestMsg(self, msg: RecoveryRequestMsg, src: int) -> None:
+        """Step ②: a healthy node reports its checker state + stored block."""
+        if self.status is not NodeStatus.RUNNING:
+            return  # recovering nodes must not answer (Sec. 4.5)
+        try:
+            reply = self.checker.tee_reply(msg.request)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.checker)
+        self.send_to(src, RecoveryResponseMsg(
+            reply=reply, block=self.preb_block, qc=self.preb_qc
+        ))
+
+    def on_RecoveryResponseMsg(self, msg: RecoveryResponseMsg, src: int) -> None:
+        """Step ③: collect f+1 replies and restore through TEErecover."""
+        if self.status is not NodeStatus.RECOVERING:
+            return
+        reply = msg.reply
+        if reply.nonce != self._recovery_nonce or reply.requester != self.node_id:
+            return
+        self.charge_verify(1)
+        if not reply.validate(self.keyring):
+            return
+        self._recovery_replies[reply.signer] = (reply, msg.block, msg.qc)
+        self._try_finish_recovery()
+
+    def _try_finish_recovery(self) -> None:
+        if len(self._recovery_replies) < self.config.f + 1:
+            return
+        replies = [entry[0] for entry in self._recovery_replies.values()]
+        highest = max(r.vi for r in replies)
+        leader_id = self.leader_of(highest)
+        entry = self._recovery_replies.get(leader_id)
+        if entry is None or entry[0].vi != highest:
+            # The highest-view reply must come from that view's leader;
+            # wait for more replies or the retry timer.
+            return
+        leader_reply, leader_block, leader_qc = entry
+        try:
+            view_cert = self.checker.tee_recover(leader_reply, replies)
+        except EnclaveAbort:
+            return
+        finally:
+            self.charge_enclave(self.checker)
+
+        self._recovery_timer.cancel()
+        self.status = NodeStatus.RUNNING
+        if leader_block is not None:
+            self.store.add(leader_block)
+            self.preb_block = leader_block
+            self.preb_qc = leader_qc
+            if leader_qc is not None and leader_qc.block_hash == leader_block.hash:
+                # Commit it once the ancestry is available.
+                self._handle_commitment(leader_qc, src=leader_reply.signer)
+        self.view = view_cert.current_view
+        self.pacemaker.view_started(self.view)
+        self.send_to(self.leader_of(self.view), NewView(cert=view_cert))
+
+        if self._current_recovery is not None:
+            stats = self._current_recovery
+            stats.protocol_ms = self.sim.now - self._recovery_started_at
+            self.recovery_episodes.append(stats)
+            self._current_recovery = None
+        self.sim.trace.record(self.sim.now, "recovery_complete", self.node_id,
+                              view=self.view)
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash the host (and thereby the enclaves)."""
+        super().crash()
+        self.status = NodeStatus.CRASHED
+        self.pacemaker.stop()
+
+
+__all__ = [
+    "AchillesNode",
+    "NodeStatus",
+    "RecoveryStats",
+    "Proposal",
+    "StoreVote",
+    "Decide",
+    "NewView",
+    "RecoveryRequestMsg",
+    "RecoveryResponseMsg",
+]

@@ -1,0 +1,49 @@
+"""Achilles cluster construction.
+
+Thin wrapper over :func:`repro.consensus.cluster.build_cluster` that wires
+:class:`~repro.core.node.AchillesNode` replicas into an n = 2f+1 committee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.consensus.cluster import Cluster, build_cluster
+from repro.consensus.config import ProtocolConfig
+from repro.core.node import AchillesNode
+from repro.net.latency import LAN_PROFILE
+
+#: Re-exported alias so users can type-annotate against the core package.
+AchillesCluster = Cluster
+
+
+def build_achilles_cluster(
+    f: int,
+    latency=LAN_PROFILE,
+    config: Optional[ProtocolConfig] = None,
+    source_factory: Optional[Callable] = None,
+    listener=None,
+    seed: int = 0,
+    node_cls: type = AchillesNode,
+    **cluster_kwargs,
+) -> Cluster:
+    """Build an Achilles deployment with ``n = 2f+1`` nodes.
+
+    ``config`` overrides the default :class:`ProtocolConfig`; any extra
+    keyword arguments go to :func:`build_cluster` (adversary, synchrony,
+    byzantine_factories, ...).
+    """
+    if config is None:
+        config = ProtocolConfig.tee_committee(f=f, seed=seed)
+    return build_cluster(
+        node_factory=node_cls,
+        config=config,
+        latency=latency,
+        source_factory=source_factory,
+        listener=listener,
+        seed=seed,
+        **cluster_kwargs,
+    )
+
+
+__all__ = ["AchillesCluster", "build_achilles_cluster"]

@@ -1,0 +1,14 @@
+"""Registers Achilles with the experiment-harness protocol registry."""
+
+from __future__ import annotations
+
+from repro.core.node import AchillesNode
+from repro.harness.runner import ProtocolSpec, register_protocol
+
+register_protocol(ProtocolSpec(
+    name="achilles",
+    node_cls=AchillesNode,
+    committee=lambda f: 2 * f + 1,
+    uses_counter=False,
+    outside_tee=False,
+))

@@ -1,0 +1,58 @@
+"""Hashing helpers.
+
+Blocks, certificates, and sealed blobs are identified by SHA-256 hex
+digests.  :func:`digest_of` canonicalizes arbitrary (nested) Python values
+into a byte string before hashing, so two structurally equal values always
+hash identically regardless of dict insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def _canonical(value: Any) -> bytes:
+    """Deterministic byte encoding of nested tuples/lists/dicts/scalars."""
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"T" if value else b"F"
+    if isinstance(value, int):
+        return b"i" + str(value).encode()
+    if isinstance(value, float):
+        return b"f" + repr(value).encode()
+    if isinstance(value, str):
+        data = value.encode()
+        return b"s" + str(len(data)).encode() + b":" + data
+    if isinstance(value, bytes):
+        return b"b" + str(len(value)).encode() + b":" + value
+    if isinstance(value, (list, tuple)):
+        inner = b"".join(_canonical(v) for v in value)
+        return b"l" + str(len(value)).encode() + b":" + inner
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        inner = b"".join(_canonical(k) + _canonical(v) for k, v in items)
+        return b"d" + str(len(items)).encode() + b":" + inner
+    # Fall back to the object's stable string form (e.g. enums, dataclasses
+    # that define __repr__); used only for trace metadata, never consensus.
+    return b"o" + repr(value).encode()
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 of raw bytes, hex encoded."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_of(*parts: Any) -> str:
+    """SHA-256 over the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(_canonical(part))
+    return h.hexdigest()
+
+
+#: Hash of the hard-coded genesis block (paper Sec. 4.2).
+GENESIS_HASH = sha256_hex(b"repro/achilles/genesis")
+
+__all__ = ["sha256_hex", "digest_of", "GENESIS_HASH"]

@@ -1,0 +1,87 @@
+"""Quorum-certificate helpers.
+
+Several protocols combine ``f+1`` (or ``2f+1``) signatures over the same
+statement into one certificate (the paper's commitment certificate
+``⟨DECIDE, h, v⟩_{σ⃗^{f+1}}`` is the canonical example).  This module keeps
+the combination/validation logic in one place so every protocol validates
+quorums identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.keys import Keyring
+from repro.crypto.signatures import Signature, SignatureList, verify
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """``threshold`` distinct signatures over one statement.
+
+    ``statement`` is the tuple of message parts each signer signed; it is
+    carried so the certificate is self-describing and replayable into
+    :meth:`validate`.
+    """
+
+    statement: tuple
+    signatures: SignatureList
+    threshold: int
+
+    def signers(self) -> set[int]:
+        """Distinct signer ids contributing to the certificate."""
+        return self.signatures.distinct_signers()
+
+    def validate(self, keyring: Keyring) -> bool:
+        """True iff ≥ threshold distinct signers validly signed the statement."""
+        valid = {
+            s.signer
+            for s in self.signatures.signatures
+            if verify(keyring, s, *self.statement)
+        }
+        return len(valid) >= self.threshold
+
+
+def distinct_signers(signatures: Iterable[Signature]) -> set[int]:
+    """Distinct signer ids in an iterable of signatures."""
+    return {s.signer for s in signatures}
+
+
+def combine_signatures(
+    statement: Sequence[object],
+    signatures: Sequence[Signature],
+    threshold: int,
+    keyring: Keyring | None = None,
+) -> QuorumCertificate:
+    """Combine signatures into a :class:`QuorumCertificate`.
+
+    Deduplicates by signer (keeping the first signature from each) and
+    raises :class:`ValidationError` if fewer than ``threshold`` distinct
+    signers remain, or — when a keyring is supplied — if any kept signature
+    fails verification.
+    """
+    seen: set[int] = set()
+    kept: list[Signature] = []
+    for sig in signatures:
+        if sig.signer in seen:
+            continue
+        if keyring is not None and not verify(keyring, sig, *statement):
+            raise ValidationError(
+                f"signature by node {sig.signer} does not cover the statement"
+            )
+        seen.add(sig.signer)
+        kept.append(sig)
+    if len(kept) < threshold:
+        raise ValidationError(
+            f"quorum needs {threshold} distinct signers, got {len(kept)}"
+        )
+    return QuorumCertificate(
+        statement=tuple(statement),
+        signatures=SignatureList.of(kept),
+        threshold=threshold,
+    )
+
+
+__all__ = ["QuorumCertificate", "combine_signatures", "distinct_signers"]

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without swallowing genuine bugs such as
+``TypeError``.  The TEE-related errors mirror the "abort" statements in the
+paper's Algorithms 2 and 3: a trusted component that refuses an invocation
+raises :class:`EnclaveAbort` (or one of its subclasses) instead of returning
+a certificate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state (e.g. scheduling in
+    the past, or running a stopped simulator)."""
+
+
+class NetworkError(ReproError):
+    """A message could not be delivered for a structural reason (unknown
+    destination, detached node)."""
+
+
+class CryptoError(ReproError):
+    """Signature creation or verification failed structurally (unknown key,
+    malformed certificate)."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature did not verify under the claimed public key."""
+
+
+class EnclaveAbort(ReproError):
+    """A trusted component aborted the invocation (paper: ``abort if ...``).
+
+    The ``reason`` string identifies which guard fired; tests assert on it.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class EnclaveOffline(EnclaveAbort):
+    """The enclave was invoked while rebooted/not yet recovered."""
+
+    def __init__(self, reason: str = "enclave offline"):
+        super().__init__(reason)
+
+
+class SealingError(ReproError):
+    """Sealed data failed authentication (forged or corrupted blob).
+
+    Note that a *stale but authentic* blob does NOT raise — that is exactly
+    the rollback attack the paper is about.
+    """
+
+
+class CounterError(ReproError):
+    """A persistent counter was misused (e.g. non-monotonic update)."""
+
+
+class ChainError(ReproError):
+    """Block/chain structural violation (unknown parent, bad height...)."""
+
+
+class ValidationError(ReproError):
+    """A received protocol message failed validation."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or protocol was configured inconsistently."""

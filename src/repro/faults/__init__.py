@@ -1,0 +1,29 @@
+"""Fault injection.
+
+* :mod:`repro.faults.crash` — crash/reboot schedules driving the recovery
+  experiments (Table 2) and liveness-under-churn tests.
+* :mod:`repro.faults.byzantine` — Byzantine replica variants exercising
+  the attacks the paper's design arguments rest on: equivocation attempts
+  (stopped by the CHECKER), vote withholding and message hiding (masked by
+  quorums), stale recovery-reply replay (stopped by nonces), and the
+  Sec. 4.5 five-node recovery attack (stopped by the leader rule).
+"""
+
+from repro.faults.crash import CrashRebootSchedule, crash_and_reboot
+from repro.faults.byzantine import (
+    SilentNode,
+    VoteWithholdingNode,
+    DecideHidingNode,
+    EquivocationAttemptNode,
+    ReplayingRecoveryResponder,
+)
+
+__all__ = [
+    "CrashRebootSchedule",
+    "crash_and_reboot",
+    "SilentNode",
+    "VoteWithholdingNode",
+    "DecideHidingNode",
+    "EquivocationAttemptNode",
+    "ReplayingRecoveryResponder",
+]

@@ -1,0 +1,78 @@
+"""Crash/reboot schedules.
+
+The paper assumes at most ``f`` nodes reboot concurrently (Sec. 6.3);
+:class:`CrashRebootSchedule` enforces that bound unless explicitly asked
+not to, so a test that wants to demonstrate the liveness loss beyond the
+bound must opt in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consensus.cluster import Cluster
+from repro.errors import ConfigurationError
+
+
+def crash_and_reboot(cluster: Cluster, node_id: int, at_ms: float,
+                     downtime_ms: float) -> None:
+    """Crash ``node_id`` at ``at_ms`` and reboot it ``downtime_ms`` later."""
+    node = cluster.nodes[node_id]
+    cluster.sim.schedule_at(at_ms, node.crash, label=f"crash node{node_id}")
+    cluster.sim.schedule_at(at_ms + downtime_ms, node.reboot,
+                            label=f"reboot node{node_id}")
+
+
+@dataclass
+class CrashRebootSchedule:
+    """A declarative list of (node, crash time, downtime) events."""
+
+    events: list[tuple[int, float, float]] = field(default_factory=list)
+    allow_excessive: bool = False
+
+    def add(self, node_id: int, at_ms: float, downtime_ms: float) -> "CrashRebootSchedule":
+        """Append one crash/reboot event; returns self for chaining."""
+        self.events.append((node_id, at_ms, downtime_ms))
+        return self
+
+    @classmethod
+    def rolling(cls, node_ids: list[int], start_ms: float, spacing_ms: float,
+                downtime_ms: float) -> "CrashRebootSchedule":
+        """Crash the given nodes one after another (never concurrently when
+        ``spacing_ms > downtime_ms``)."""
+        schedule = cls()
+        for i, node_id in enumerate(node_ids):
+            schedule.add(node_id, start_ms + i * spacing_ms, downtime_ms)
+        return schedule
+
+    def max_concurrent(self) -> int:
+        """The largest number of nodes down at any instant."""
+        edges: list[tuple[float, int]] = []
+        for _node, at, downtime in self.events:
+            edges.append((at, +1))
+            edges.append((at + downtime, -1))
+        edges.sort()
+        worst = current = 0
+        for _t, delta in edges:
+            current += delta
+            worst = max(worst, current)
+        return worst
+
+    def apply(self, cluster: Cluster) -> None:
+        """Install every event on the cluster's simulator.
+
+        Raises :class:`ConfigurationError` if more than ``f`` nodes would be
+        down concurrently and ``allow_excessive`` is False (the paper's
+        liveness assumption, Sec. 6.3).
+        """
+        if not self.allow_excessive and self.max_concurrent() > cluster.config.f:
+            raise ConfigurationError(
+                f"schedule crashes {self.max_concurrent()} nodes concurrently, "
+                f"but the deployment only tolerates f={cluster.config.f}"
+            )
+        for node_id, at, downtime in self.events:
+            crash_and_reboot(cluster, node_id, at, downtime)
+
+
+__all__ = ["CrashRebootSchedule", "crash_and_reboot"]

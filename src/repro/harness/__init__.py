@@ -1,0 +1,21 @@
+"""Experiment harness.
+
+Builds clusters for any protocol, runs measured windows, and aggregates
+the paper's three metrics (throughput, commit latency, end-to-end latency)
+plus trace-derived quantities (message complexity, counter writes).  The
+per-figure experiment definitions live in :mod:`repro.harness.experiments`;
+the benchmarks under ``benchmarks/`` are thin wrappers around them.
+"""
+
+from repro.harness.metrics import MetricsCollector, LatencyStats
+from repro.harness.runner import ExperimentResult, run_experiment, PROTOCOLS
+from repro.harness.report import format_table
+
+__all__ = [
+    "MetricsCollector",
+    "LatencyStats",
+    "ExperimentResult",
+    "run_experiment",
+    "PROTOCOLS",
+    "format_table",
+]

@@ -1,0 +1,100 @@
+"""Plain-text charts for benchmark reports.
+
+The benchmarks print tables (the data behind each paper figure); for the
+figure-shaped artifacts an ASCII chart makes the *shape* — who wins, where
+saturation hits, how series scale — visible at a glance in a terminal or
+``bench_output.txt``, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Mark characters assigned to series, in order.
+MARKS = "o*x+#@%&"
+
+
+def ascii_xy_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as a scatter/line chart.
+
+    Points are plotted on a ``width``×``height`` character grid with linear
+    (or log) y scaling; each series gets a mark from :data:`MARKS` and a
+    legend line.  Returns the chart as a string.
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+
+    def ty(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if log_y else y
+
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(map(ty, ys)), max(map(ty, ys))
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        mark = MARKS[index % len(MARKS)]
+        legend.append(f"{mark} {name}")
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((ty(y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    y_hi = f"{(10 ** y_max) if log_y else y_max:g}"
+    y_lo = f"{(10 ** y_min) if log_y else y_min:g}"
+    gutter = max(len(y_hi), len(y_lo), len(y_label)) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label.rjust(gutter)} {'(log)' if log_y else ''}".rstrip())
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_hi
+        elif row_index == height - 1:
+            label = y_lo
+        else:
+            label = ""
+        lines.append(f"{label.rjust(gutter)} |{''.join(row)}|")
+    lines.append(f"{' ' * gutter} +{'-' * width}+")
+    x_axis = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(f"{' ' * gutter}  {x_axis}   ({x_label})")
+    lines.append(f"{' ' * gutter}  legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def series_from_results(results, x_key, y_key) -> dict[str, list[tuple[float, float]]]:
+    """Group ExperimentResults into chart series keyed by protocol.
+
+    ``x_key``/``y_key`` are attribute names, or callables over a result.
+    """
+    def get(result, key):
+        if callable(key):
+            return key(result)
+        return getattr(result, key)
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    for result in results:
+        series.setdefault(result.protocol, []).append(
+            (float(get(result, x_key)), float(get(result, y_key))))
+    for pts in series.values():
+        pts.sort()
+    return series
+
+
+__all__ = ["ascii_xy_chart", "series_from_results", "MARKS"]

@@ -1,0 +1,260 @@
+"""Per-figure/table experiment definitions (paper Sec. 5).
+
+Each function regenerates the data series behind one paper artifact and
+returns plain rows; the benchmarks print them via
+:func:`repro.harness.report.format_table` and record them in
+``EXPERIMENTS.md``.  Durations adapt to committee size so the full suite
+stays tractable while every configuration still commits enough blocks for
+stable means.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.consensus.config import ProtocolConfig
+from repro.core.protocol import build_achilles_cluster
+from repro.client.workload import SaturatedSource
+from repro.faults.crash import crash_and_reboot
+from repro.harness.metrics import MetricsCollector
+from repro.harness.runner import ExperimentResult, run_experiment
+from repro.net.latency import LAN_PROFILE, WAN_PROFILE
+
+#: The four protocols Fig. 3/4 compare.
+FIG3_PROTOCOLS = ("achilles", "damysus-r", "flexibft", "oneshot-r")
+#: The fault thresholds Fig. 3a–3d sweep.
+FIG3_FAULTS = (1, 2, 4, 10, 20, 30)
+#: Payload sizes for Fig. 3e–3h.
+FIG3_PAYLOADS = (0, 256, 512)
+#: Batch sizes for Fig. 3i–3l.
+FIG3_BATCHES = (200, 400, 600)
+
+
+def _window(network: str, n: int) -> tuple[float, float]:
+    """(duration, warmup) in ms, adapted to network and committee size."""
+    if network.upper() == "WAN":
+        duration = 6000.0 if n <= 45 else 4500.0
+        return duration, 1200.0
+    duration = 1200.0 if n <= 45 else 700.0
+    return duration, 250.0
+
+
+def fig3_fault_sweep(
+    network: str,
+    faults: Sequence[int] = FIG3_FAULTS,
+    protocols: Sequence[str] = FIG3_PROTOCOLS,
+    batch_size: int = 400,
+    payload_size: int = 256,
+    seed: int = 1,
+) -> list[ExperimentResult]:
+    """Fig. 3a/3b (WAN) and 3c/3d (LAN): vary the fault threshold."""
+    results = []
+    for protocol in protocols:
+        for f in faults:
+            n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
+            duration, warmup = _window(network, n)
+            results.append(run_experiment(
+                protocol, f=f, network=network,
+                batch_size=batch_size, payload_size=payload_size,
+                duration_ms=duration, warmup_ms=warmup, seed=seed,
+            ))
+    return results
+
+
+def fig3_payload_sweep(
+    network: str,
+    payloads: Sequence[int] = FIG3_PAYLOADS,
+    protocols: Sequence[str] = FIG3_PROTOCOLS,
+    f: int = 10,
+    batch_size: int = 400,
+    seed: int = 1,
+) -> list[ExperimentResult]:
+    """Fig. 3e/3f (WAN) and 3g/3h (LAN): vary the transaction payload."""
+    results = []
+    for protocol in protocols:
+        for payload in payloads:
+            n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
+            duration, warmup = _window(network, n)
+            results.append(run_experiment(
+                protocol, f=f, network=network,
+                batch_size=batch_size, payload_size=payload,
+                duration_ms=duration, warmup_ms=warmup, seed=seed,
+            ))
+    return results
+
+
+def fig3_batch_sweep(
+    network: str,
+    batches: Sequence[int] = FIG3_BATCHES,
+    protocols: Sequence[str] = FIG3_PROTOCOLS,
+    f: int = 10,
+    payload_size: int = 256,
+    seed: int = 1,
+) -> list[ExperimentResult]:
+    """Fig. 3i/3j (WAN) and 3k/3l (LAN): vary the batch size."""
+    results = []
+    for protocol in protocols:
+        for batch in batches:
+            n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
+            duration, warmup = _window(network, n)
+            results.append(run_experiment(
+                protocol, f=f, network=network,
+                batch_size=batch, payload_size=payload_size,
+                duration_ms=duration, warmup_ms=warmup, seed=seed,
+            ))
+    return results
+
+
+def fig4_latency_vs_throughput(
+    protocols: Sequence[str] = FIG3_PROTOCOLS,
+    rates_tps: Sequence[float] = (500, 1000, 2000, 4000, 8000, 16000, 32000, 64000),
+    f: int = 10,
+    batch_size: int = 400,
+    payload_size: int = 256,
+    seed: int = 1,
+) -> list[ExperimentResult]:
+    """Fig. 4: open-loop offered-load sweep to saturation, LAN.
+
+    Each row reports achieved throughput and end-to-end latency at one
+    offered load; past saturation, throughput plateaus and latency climbs.
+    """
+    results = []
+    for protocol in protocols:
+        for rate in rates_tps:
+            n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
+            duration, warmup = _window("LAN", n)
+            result = run_experiment(
+                protocol, f=f, network="LAN",
+                batch_size=batch_size, payload_size=payload_size,
+                duration_ms=duration, warmup_ms=warmup, seed=seed,
+                offered_load_tps=rate,
+            )
+            result.extras["offered_load_tps"] = rate
+            results.append(result)
+    return results
+
+
+def fig5_counter_sweep(
+    write_latencies_ms: Sequence[float] = (0, 10, 20, 40, 80),
+    protocols: Sequence[str] = ("damysus-r", "flexibft", "oneshot-r"),
+    f: int = 10,
+    batch_size: int = 400,
+    payload_size: int = 256,
+    seed: int = 1,
+) -> list[ExperimentResult]:
+    """Fig. 5: performance vs persistent-counter write latency, LAN.
+
+    At 0 ms the rows show the protocols *without* rollback prevention.
+    """
+    results = []
+    for protocol in protocols:
+        for write_ms in write_latencies_ms:
+            n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
+            duration, warmup = _window("LAN", n)
+            result = run_experiment(
+                protocol, f=f, network="LAN",
+                batch_size=batch_size, payload_size=payload_size,
+                counter_write_ms=write_ms,
+                duration_ms=duration, warmup_ms=warmup, seed=seed,
+            )
+            result.extras["counter_write_ms"] = write_ms
+            results.append(result)
+    return results
+
+
+def table2_recovery_breakdown(
+    node_counts: Sequence[int] = (3, 5, 9, 21, 41, 61),
+    seed: int = 1,
+) -> list[dict]:
+    """Table 2: initialization + recovery latency vs committee size, LAN.
+
+    One node reboots mid-run; we report its recovery episode's breakdown.
+    """
+    rows = []
+    for n in node_counts:
+        f = (n - 1) // 2
+        config = ProtocolConfig.tee_committee(
+            f=f, batch_size=100, payload_size=64, seed=seed
+        )
+        collector = MetricsCollector(warmup_ms=0.0)
+        cluster = build_achilles_cluster(
+            f=f, latency=LAN_PROFILE, config=config,
+            source_factory=lambda sim: SaturatedSource(sim, payload_size=64),
+            listener=collector, seed=seed,
+        )
+        cluster.sim.trace.enabled = False
+        victim = 2 % n if n > 2 else 0
+        crash_and_reboot(cluster, victim, at_ms=150.0, downtime_ms=20.0)
+        cluster.start()
+        cluster.run(600.0)
+        cluster.assert_safety()
+        node = cluster.nodes[victim]
+        episode = node.recovery_episodes[-1] if node.recovery_episodes else None
+        rows.append({
+            "nodes": n,
+            "initialization_ms": episode.init_ms if episode else float("nan"),
+            "recovery_ms": episode.protocol_ms if episode else float("nan"),
+            "total_ms": episode.total_ms if episode else float("nan"),
+            "recovered": episode is not None,
+        })
+    return rows
+
+
+def table3_overhead_profiling(
+    faults: Sequence[int] = (2, 4, 10),
+    protocols: Sequence[str] = ("achilles", "achilles-c", "braft"),
+    batch_size: int = 400,
+    payload_size: int = 256,
+    seed: int = 1,
+) -> list[ExperimentResult]:
+    """Table 3: Achilles vs Achilles-C vs BRaft peak throughput/latency, LAN."""
+    results = []
+    for protocol in protocols:
+        for f in faults:
+            duration, warmup = _window("LAN", 2 * f + 1)
+            results.append(run_experiment(
+                protocol, f=f, network="LAN",
+                batch_size=batch_size, payload_size=payload_size,
+                duration_ms=duration, warmup_ms=warmup, seed=seed,
+            ))
+    return results
+
+
+def table4_counter_latencies(samples: int = 200) -> list[dict]:
+    """Table 4: measured write/read latency of each counter class."""
+    import random
+
+    from repro.tee.counters import NarratorCounter, SGXCounter, TPMCounter
+
+    rows = []
+    for name, factory in (
+        ("TPM", TPMCounter),
+        ("SGX", SGXCounter),
+        ("Narrator_LAN", lambda: NarratorCounter("LAN")),
+        ("Narrator_WAN", lambda: NarratorCounter("WAN")),
+    ):
+        counter = factory().seed(random.Random(0))
+        writes = [counter.increment()[1] for _ in range(samples)]
+        reads = [counter.read()[1] for _ in range(samples)]
+        rows.append({
+            "counter": name,
+            "write_ms": sum(writes) / len(writes),
+            "read_ms": sum(reads) / len(reads),
+        })
+    return rows
+
+
+__all__ = [
+    "FIG3_PROTOCOLS",
+    "FIG3_FAULTS",
+    "FIG3_PAYLOADS",
+    "FIG3_BATCHES",
+    "fig3_fault_sweep",
+    "fig3_payload_sweep",
+    "fig3_batch_sweep",
+    "fig4_latency_vs_throughput",
+    "fig5_counter_sweep",
+    "table2_recovery_breakdown",
+    "table3_overhead_profiling",
+    "table4_counter_latencies",
+]

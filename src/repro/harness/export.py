@@ -1,0 +1,79 @@
+"""Exporting experiment results (JSON / CSV).
+
+The benchmarks print tables; downstream analysis (plotting the paper's
+figures with real tooling, regression-tracking across library versions)
+wants machine-readable output.  :func:`results_to_json` and
+:func:`results_to_csv` serialize :class:`~repro.harness.runner.ExperimentResult`
+rows; :func:`write_results` picks the format from the file suffix.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from dataclasses import asdict, fields
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.runner import ExperimentResult
+
+#: Scalar columns exported to CSV, in order.
+CSV_COLUMNS = [f.name for f in fields(ExperimentResult) if f.name != "extras"]
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """One result as a plain JSON-safe dict (extras inlined)."""
+    record = asdict(result)
+    extras = record.pop("extras", {}) or {}
+    for key, value in extras.items():
+        record.setdefault(f"extra_{key}", value)
+    return record
+
+
+def results_to_json(results: Sequence[ExperimentResult], indent: int = 2) -> str:
+    """Serialize results as a JSON array."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def results_to_csv(results: Sequence[ExperimentResult]) -> str:
+    """Serialize results as CSV (scalar columns + any shared extras)."""
+    extra_keys = sorted({
+        f"extra_{k}" for r in results for k in (r.extras or {})
+    })
+    columns = CSV_COLUMNS + extra_keys
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for result in results:
+        writer.writerow(result_to_dict(result))
+    return buffer.getvalue()
+
+
+def write_results(results: Sequence[ExperimentResult], path: str | pathlib.Path) -> pathlib.Path:
+    """Write results to ``path``; format chosen by suffix (.json/.csv)."""
+    path = pathlib.Path(path)
+    if path.suffix == ".json":
+        path.write_text(results_to_json(results) + "\n")
+    elif path.suffix == ".csv":
+        path.write_text(results_to_csv(results))
+    else:
+        raise ConfigurationError(
+            f"unknown export format {path.suffix!r} (use .json or .csv)")
+    return path
+
+
+def load_results(path: str | pathlib.Path) -> list[dict]:
+    """Read a JSON export back as plain dicts (for analysis scripts)."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+__all__ = [
+    "CSV_COLUMNS",
+    "result_to_dict",
+    "results_to_json",
+    "results_to_csv",
+    "write_results",
+    "load_results",
+]

@@ -1,0 +1,150 @@
+"""Metric collection.
+
+:class:`MetricsCollector` implements the
+:class:`~repro.consensus.base.CommitListener` protocol and derives the
+paper's metrics (Sec. 5.1 "Performance metrics"):
+
+* **throughput** — transactions in first-committed blocks per second of
+  measured window;
+* **commit latency** — leader proposal → first commit of the block;
+* **end-to-end latency** — client creation → first reply (+ the reply's
+  one-way client hop, folded in statistically).
+
+"First" means the earliest among all nodes — the moment the information
+exists anywhere, matching how the paper's client-side scripts measure.
+A warmup window excludes cold-start effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency aggregate with percentile support."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank; 0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99.0)
+
+
+class MetricsCollector:
+    """Cluster-wide metrics listener."""
+
+    def __init__(self, warmup_ms: float = 0.0,
+                 reply_one_way_ms: float = 0.05) -> None:
+        self.warmup_ms = warmup_ms
+        self.reply_one_way_ms = reply_one_way_ms
+        self._proposed_at: dict[str, float] = {}
+        self._block_txs: dict[str, int] = {}
+        self._first_commit_at: dict[str, float] = {}
+        self._replied: set[tuple[int, int]] = set()
+        self.commit_latency = LatencyStats()
+        self.e2e_latency = LatencyStats()
+        self.txs_committed = 0
+        self.blocks_committed = 0
+        self.window_start: Optional[float] = None
+        self.window_end: float = 0.0
+
+    # ------------------------------------------------------------------
+    # CommitListener
+    # ------------------------------------------------------------------
+    def on_propose(self, node: int, block: Block, now: float) -> None:
+        """Record first proposal time of a block."""
+        self._proposed_at.setdefault(block.hash, now)
+        self._block_txs.setdefault(block.hash, len(block.txs))
+
+    def on_commit(self, node: int, block: Block, now: float) -> None:
+        """Record first commit of a block; accumulate window counters."""
+        if block.hash in self._first_commit_at:
+            return
+        self._first_commit_at[block.hash] = now
+        if now < self.warmup_ms:
+            return
+        if self.window_start is None:
+            self.window_start = now
+        self.window_end = max(self.window_end, now)
+        self.blocks_committed += 1
+        self.txs_committed += len(block.txs)
+        proposed = self._proposed_at.get(block.hash)
+        if proposed is not None:
+            self.commit_latency.add(now - proposed)
+
+    def on_reply(self, node: int, tx: Transaction, now: float) -> None:
+        """Record the first reply per transaction (adds the client hop)."""
+        if tx.key in self._replied:
+            return
+        self._replied.add(tx.key)
+        if now < self.warmup_ms:
+            return
+        self.e2e_latency.add((now + self.reply_one_way_ms) - tx.created_at)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def throughput_ktps(self, measured_until: Optional[float] = None) -> float:
+        """Committed transactions per second, in thousands."""
+        if self.window_start is None:
+            return 0.0
+        end = measured_until if measured_until is not None else self.window_end
+        elapsed_ms = end - self.warmup_ms
+        if elapsed_ms <= 0:
+            return 0.0
+        return (self.txs_committed / (elapsed_ms / 1000.0)) / 1000.0
+
+    def commit_time_of(self, block_hash: str) -> Optional[float]:
+        """When a block first committed anywhere (or None)."""
+        return self._first_commit_at.get(block_hash)
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot for reports."""
+        return {
+            "txs_committed": self.txs_committed,
+            "blocks_committed": self.blocks_committed,
+            "throughput_ktps": self.throughput_ktps(),
+            "commit_latency_ms": self.commit_latency.mean,
+            "commit_latency_p99_ms": self.commit_latency.p99,
+            "e2e_latency_ms": self.e2e_latency.mean,
+            "e2e_latency_p99_ms": self.e2e_latency.p99,
+        }
+
+
+__all__ = ["MetricsCollector", "LatencyStats"]

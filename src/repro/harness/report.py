@@ -1,0 +1,43 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmarks print the same rows the paper's figures/tables plot; this
+module renders them as aligned monospace tables (captured into
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render a monospace table with a title line."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+__all__ = ["format_table"]

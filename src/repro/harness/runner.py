@@ -1,0 +1,191 @@
+"""Experiment runner.
+
+:func:`run_experiment` builds a cluster for any registered protocol, runs a
+measured window on a saturated (or open-loop) workload, checks safety, and
+returns an :class:`ExperimentResult` with the paper's metrics.
+
+The ``PROTOCOLS`` registry maps the names used throughout the benchmarks —
+``achilles``, ``achilles-c``, ``damysus``, ``damysus-r``, ``oneshot``,
+``oneshot-r``, ``flexibft``, ``braft`` — to (node class, committee shape,
+counter wiring) descriptors.  Baselines register themselves on import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.client.workload import OpenLoopGenerator, QueueSource, SaturatedSource
+from repro.consensus.cluster import Cluster, build_cluster
+from repro.consensus.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.harness.metrics import MetricsCollector
+from repro.net.latency import LAN_PROFILE, WAN_PROFILE
+from repro.tee.counters import ConfigurableCounter
+from repro.tee.enclave import EnclaveProfile
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Registry entry describing how to deploy one protocol."""
+
+    name: str
+    node_cls: type
+    #: committee shape: n as a function of f
+    committee: Callable[[int], int]
+    #: does this variant wire a persistent counter into its TEE components?
+    uses_counter: bool = False
+    #: trusted components outside the enclave (Achilles-C, BRaft)?
+    outside_tee: bool = False
+
+
+PROTOCOLS: dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> None:
+    """Add a protocol to the registry (idempotent by name)."""
+    PROTOCOLS[spec.name] = spec
+
+
+def _ensure_registered() -> None:
+    # Importing the packages runs their registration side effects.
+    import repro.core.registry  # noqa: F401
+    import repro.baselines  # noqa: F401
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome."""
+
+    protocol: str
+    f: int
+    n: int
+    network: str
+    batch_size: int
+    payload_size: int
+    counter_write_ms: float
+    throughput_ktps: float
+    commit_latency_ms: float
+    commit_latency_p99_ms: float
+    e2e_latency_ms: float
+    txs_committed: int
+    blocks_committed: int
+    messages_sent: int
+    bytes_sent: int
+    sim_events: int
+    extras: dict = field(default_factory=dict)
+
+    def row(self) -> list:
+        """The row most benchmark tables print."""
+        return [
+            self.protocol, self.f, self.n, self.throughput_ktps,
+            self.commit_latency_ms, self.e2e_latency_ms,
+        ]
+
+
+def run_experiment(
+    protocol: str,
+    f: int,
+    network: str = "LAN",
+    batch_size: int = 400,
+    payload_size: int = 256,
+    counter_write_ms: float = 20.0,
+    duration_ms: float = 1500.0,
+    warmup_ms: float = 300.0,
+    seed: int = 1,
+    offered_load_tps: Optional[float] = None,
+    config_overrides: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run one measured experiment and return its metrics.
+
+    ``offered_load_tps`` switches from the saturated workload to an
+    open-loop Poisson workload at that rate (Fig. 4); the default measures
+    peak throughput.
+    """
+    _ensure_registered()
+    spec = PROTOCOLS.get(protocol)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}"
+        )
+    latency = {"LAN": LAN_PROFILE, "WAN": WAN_PROFILE}.get(network.upper())
+    if latency is None:
+        raise ConfigurationError(f"unknown network {network!r} (LAN or WAN)")
+
+    n = spec.committee(f)
+    counter_factory = None
+    if spec.uses_counter and counter_write_ms > 0:
+        counter_factory = lambda: ConfigurableCounter(counter_write_ms)  # noqa: E731
+    enclave = EnclaveProfile.outside_tee() if spec.outside_tee else EnclaveProfile()
+
+    overrides = dict(config_overrides or {})
+    config = ProtocolConfig(
+        n=n,
+        f=f,
+        batch_size=batch_size,
+        payload_size=payload_size,
+        counter_factory=counter_factory,
+        enclave=enclave,
+        seed=seed,
+        **overrides,
+    )
+
+    client_hop = latency.one_way_ms
+    collector = MetricsCollector(warmup_ms=warmup_ms, reply_one_way_ms=client_hop)
+
+    generator_holder: list[OpenLoopGenerator] = []
+
+    def source_factory(sim):
+        if offered_load_tps is None:
+            return SaturatedSource(sim, payload_size=payload_size,
+                                   client_one_way_ms=client_hop)
+        queue = QueueSource()
+        generator = OpenLoopGenerator(
+            sim, queue, rate_tps=offered_load_tps,
+            payload_size=payload_size, client_one_way_ms=client_hop,
+        )
+        generator_holder.append(generator)
+        return queue
+
+    cluster = build_cluster(
+        node_factory=spec.node_cls,
+        config=config,
+        latency=latency,
+        source_factory=source_factory,
+        listener=collector,
+        seed=seed,
+    )
+    cluster.sim.trace.enabled = False  # counters still tick; bodies skipped
+    for generator in generator_holder:
+        generator.start()
+    cluster.start()
+    cluster.run(duration_ms)
+    cluster.assert_safety()
+
+    return ExperimentResult(
+        protocol=protocol,
+        f=f,
+        n=n,
+        network=network.upper(),
+        batch_size=batch_size,
+        payload_size=payload_size,
+        counter_write_ms=counter_write_ms if spec.uses_counter else 0.0,
+        throughput_ktps=collector.throughput_ktps(measured_until=duration_ms),
+        commit_latency_ms=collector.commit_latency.mean,
+        commit_latency_p99_ms=collector.commit_latency.p99,
+        e2e_latency_ms=collector.e2e_latency.mean,
+        txs_committed=collector.txs_committed,
+        blocks_committed=collector.blocks_committed,
+        messages_sent=cluster.network.stats.messages_sent,
+        bytes_sent=cluster.network.stats.bytes_sent,
+        sim_events=cluster.sim.events_processed,
+    )
+
+
+__all__ = [
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "register_protocol",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,130 @@
+"""The network fabric.
+
+Combines latency profile, bandwidth model, partial synchrony, and the
+adversary into a single ``send``/``broadcast`` API used by every protocol.
+Delivery invokes the destination endpoint's ``deliver(envelope)`` method
+(consensus replicas and clients both implement it).
+
+Statistics (message and byte counts, per-link and per-kind) feed Table 1's
+message-complexity measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol
+
+from repro.errors import NetworkError
+from repro.net.adversary import NetworkAdversary
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LAN_PROFILE
+from repro.net.message import Envelope
+from repro.net.synchrony import PartialSynchrony
+from repro.sim.loop import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything attachable to the network."""
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Handle an arriving message."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def note_send(self, envelope: Envelope) -> None:
+        """Count an accepted send."""
+        self.messages_sent += 1
+        self.bytes_sent += envelope.size
+        kind = type(envelope.payload).__name__
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class Network:
+    """Reliable, latency-modelled message fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency=LAN_PROFILE,
+        bandwidth: Optional[BandwidthModel] = None,
+        synchrony: Optional[PartialSynchrony] = None,
+        adversary: Optional[NetworkAdversary] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth if bandwidth is not None else BandwidthModel()
+        self.synchrony = synchrony if synchrony is not None else PartialSynchrony.always_synchronous()
+        self.adversary = adversary if adversary is not None else NetworkAdversary()
+        self.stats = NetworkStats()
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._rng = sim.fork_rng("network")
+
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, endpoint: Endpoint) -> None:
+        """Register an endpoint under ``node_id`` (replacing any previous)."""
+        self._endpoints[node_id] = endpoint
+
+    def detach(self, node_id: int) -> None:
+        """Remove an endpoint; traffic to it is dropped until re-attached."""
+        self._endpoints.pop(node_id, None)
+
+    def endpoints(self) -> list[int]:
+        """Currently attached node ids, sorted."""
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Send one message; the reliable channel delivers it unless the
+        adversary (or a partition / detached endpoint) interferes."""
+        if src not in self._endpoints:
+            raise NetworkError(f"sender {src} is not attached to the network")
+        now = self.sim.now
+        envelope = Envelope.make(src=src, dst=dst, payload=payload, sent_at=now)
+
+        extra = self.adversary.verdict(src, dst, payload, now)
+        if extra is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.note_send(envelope)
+
+        # NIC serialization occupies the sender's transmit queue...
+        departure = self.bandwidth.serialize(src, now, envelope.size)
+        # ...then propagation (+ partial-synchrony shaping + adversary delay).
+        # Geo-aware profiles expose per-link sampling; flat ones don't.
+        sample_link = getattr(self.latency, "sample_link", None)
+        if sample_link is not None:
+            nominal = sample_link(src, dst, self._rng)
+        else:
+            nominal = self.latency.sample(self._rng)
+        actual = self.synchrony.actual_delay(src, dst, now, nominal, self._rng)
+        arrival = departure + actual + extra
+
+        self.sim.schedule_at(arrival, lambda: self._deliver(envelope), label=f"net {src}->{dst}")
+
+    def broadcast(self, src: int, dsts: list[int], payload: Any) -> None:
+        """Send ``payload`` to each destination (separate serializations —
+        this is what charges an O(n) sender cost for a broadcast)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None:
+            # Destination crashed/detached while the message was in flight.
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        endpoint.deliver(envelope)
+
+
+__all__ = ["Network", "NetworkStats", "Endpoint"]

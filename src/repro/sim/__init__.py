@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is deliberately small: a priority queue of timestamped events, a
+clock, and a handful of conveniences (processes, timers, per-node CPU
+serialization, trace recording).  Everything else in the library — network,
+TEEs, consensus protocols, clients — is built as callbacks scheduled on this
+kernel, which is what makes whole-system runs deterministic and replayable
+from a single seed.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.loop import Simulator
+from repro.sim.process import Process, Timer
+from repro.sim.cpu import CpuModel
+from repro.sim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "Timer",
+    "CpuModel",
+    "TraceRecorder",
+    "TraceEvent",
+]

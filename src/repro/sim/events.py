@@ -1,0 +1,83 @@
+"""Event and event-queue primitives.
+
+Times are floats in **milliseconds** throughout the library: the paper
+reports RTTs, counter latencies, and commit latencies in milliseconds, so
+using the same unit everywhere keeps configs readable.
+
+Determinism: the queue orders events by ``(time, sequence)`` where the
+sequence number is assigned at insertion.  Two events scheduled for the same
+instant therefore fire in insertion order on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are compared by ``(time, seq)`` only; the callback and its
+    metadata are excluded from ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it (O(1) lazy deletion)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Insert a callback to fire at ``time``; returns a cancellable handle."""
+        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: an event handle obtained from :meth:`push` was
+        cancelled externally."""
+        self._live = max(0, self._live - 1)
+
+
+__all__ = ["Event", "EventQueue", "Any"]

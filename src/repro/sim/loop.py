@@ -1,0 +1,124 @@
+"""The simulation loop.
+
+:class:`Simulator` owns the clock, the event queue, and a seeded RNG.  All
+randomness in a run (network jitter, client arrivals, election timeouts)
+must come from :attr:`Simulator.rng` or a generator forked from it via
+:meth:`fork_rng`, so a run is a pure function of ``(configuration, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with millisecond time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.trace = TraceRecorder()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run at absolute time ``time`` ms."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        return self.queue.push(time, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event; safe to call on already-fired events."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancelled()
+
+    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` for the current instant (after pending
+        same-time events, preserving insertion order)."""
+        return self.schedule(0.0, callback, label)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue returned an event from the past")
+        self.now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` (ms) is reached, or
+        ``max_events`` have been processed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the queue drained earlier, so metrics windows are exact.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop the loop after the current event completes."""
+        self._stopped = True
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (for harness diagnostics)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def fork_rng(self, tag: str) -> random.Random:
+        """Derive an independent, deterministic RNG stream for a component.
+
+        Forked streams decouple components: adding RNG draws in one
+        component does not perturb another's sequence across code changes.
+        """
+        return random.Random(f"{self.seed}/{tag}")
+
+
+__all__ = ["Simulator"]

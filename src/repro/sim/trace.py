@@ -1,0 +1,61 @@
+"""Structured trace recording.
+
+The trace is how the harness computes message complexity (Table 1),
+communication-step counts, and debug timelines.  Recording is cheap (an
+appended tuple) and can be filtered by kind; it can also be disabled
+entirely for long benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: a timestamped, kind-tagged observation."""
+
+    time: float
+    kind: str
+    node: Optional[int]
+    detail: dict[str, Any]
+
+
+class TraceRecorder:
+    """Appends :class:`TraceEvent` records; supports filtering and counting."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self._counters: dict[str, int] = {}
+
+    def record(self, time: float, kind: str, node: Optional[int] = None, **detail: Any) -> None:
+        """Record one event (no-op when disabled, but counters still tick)."""
+        self._counters[kind] = self._counters.get(kind, 0) + 1
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, node, detail))
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were recorded (even while disabled)."""
+        return self._counters.get(kind, 0)
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """Iterate recorded events of one kind."""
+        return (e for e in self.events if e.kind == kind)
+
+    def between(self, start: float, end: float) -> Iterator[TraceEvent]:
+        """Iterate recorded events with ``start <= time < end``."""
+        return (e for e in self.events if start <= e.time < end)
+
+    def clear(self) -> None:
+        """Drop all recorded events and counters."""
+        self.events.clear()
+        self._counters.clear()
+
+    def kinds(self) -> Iterable[str]:
+        """All kinds seen so far."""
+        return self._counters.keys()
+
+
+__all__ = ["TraceEvent", "TraceRecorder"]

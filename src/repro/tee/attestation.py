@@ -1,0 +1,56 @@
+"""Remote attestation (stub sufficient for the paper's uses).
+
+The paper uses attestation only at setup: nodes' TEEs mutually attest to
+build the PKI without a trusted third party (Sec. 4.5, citing Narrator).
+We model a report binding (enclave identity, measurement, public key) under
+a platform key; verification checks the measurement against an expected
+value.  No protocol hot path touches attestation, so no cost model beyond
+the enclave init cost is needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+
+_PLATFORM_SECRET = hashlib.sha256(b"repro/platform-attestation-key").digest()
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A signed statement that ``public_key`` belongs to an enclave with
+    ``measurement`` running as ``enclave_identity``."""
+
+    enclave_identity: str
+    measurement: str
+    public_key: PublicKey
+    signature: str
+
+
+def _report_mac(enclave_identity: str, measurement: str, public_key: PublicKey) -> str:
+    msg = f"{enclave_identity}|{measurement}|{public_key.owner}|{public_key.commitment}".encode()
+    return hmac.new(_PLATFORM_SECRET, msg, hashlib.sha256).hexdigest()
+
+
+def attest(enclave_identity: str, measurement: str, public_key: PublicKey) -> AttestationReport:
+    """Produce a platform-signed attestation report."""
+    return AttestationReport(
+        enclave_identity=enclave_identity,
+        measurement=measurement,
+        public_key=public_key,
+        signature=_report_mac(enclave_identity, measurement, public_key),
+    )
+
+
+def verify_attestation(report: AttestationReport, expected_measurement: str) -> bool:
+    """Check the report's platform signature and code measurement."""
+    if report.measurement != expected_measurement:
+        return False
+    expected = _report_mac(report.enclave_identity, report.measurement, report.public_key)
+    return hmac.compare_digest(expected, report.signature)
+
+
+__all__ = ["AttestationReport", "attest", "verify_attestation"]

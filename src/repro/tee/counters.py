@@ -1,0 +1,154 @@
+"""Trusted persistent counters.
+
+Rollback prevention (paper Sec. 2.1) binds each sealed state to a
+monotonic counter: *store* the state tagged with the counter value, then
+*increment*; after a reboot, state freshness is checked against the
+counter.  The counters themselves are rollback-proof but slow; their
+measured latencies (paper Table 4) are:
+
+=================  ============  ===========
+Counter            write (ms)    read (ms)
+=================  ============  ===========
+TPM                ≈ 97          ≈ 35
+SGX                ≈ 160         ≈ 61
+Narrator (LAN)     8–10          4–5
+Narrator (WAN)     40–50         25
+=================  ============  ===========
+
+Counter objects are *pure cost models plus a monotonic integer*: callers
+charge the returned latency to their CPU/timeline.  The -R protocol
+variants call :meth:`PersistentCounter.increment` on every trusted-
+component invocation, which is exactly the overhead Achilles removes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError, CounterError
+
+
+@dataclass
+class PersistentCounter:
+    """Base class: monotonic value + write/read latency sampling."""
+
+    name: str = "counter"
+    write_ms: float = 0.0
+    read_ms: float = 0.0
+    write_jitter_ms: float = 0.0
+    read_jitter_ms: float = 0.0
+    max_write_cycles: Optional[int] = None
+    value: int = 0
+    writes: int = 0
+    reads: int = 0
+    _rng: random.Random = field(default_factory=lambda: random.Random(0), repr=False)
+
+    def seed(self, rng: random.Random) -> "PersistentCounter":
+        """Attach a deterministic jitter stream; returns self for chaining."""
+        self._rng = rng
+        return self
+
+    def increment(self) -> tuple[int, float]:
+        """Increment; returns ``(new_value, latency_ms)``.
+
+        Raises :class:`CounterError` once hardware write cycles are
+        exhausted (NVRAM wear-out, paper Sec. 2.1).
+        """
+        if self.max_write_cycles is not None and self.writes >= self.max_write_cycles:
+            raise CounterError(f"{self.name}: write cycles exhausted ({self.max_write_cycles})")
+        self.value += 1
+        self.writes += 1
+        return self.value, self._latency(self.write_ms, self.write_jitter_ms)
+
+    def read(self) -> tuple[int, float]:
+        """Read current value; returns ``(value, latency_ms)``."""
+        self.reads += 1
+        return self.value, self._latency(self.read_ms, self.read_jitter_ms)
+
+    def _latency(self, base: float, jitter: float) -> float:
+        if jitter <= 0:
+            return base
+        return max(0.0, base + self._rng.uniform(-jitter, jitter))
+
+
+def TPMCounter() -> PersistentCounter:
+    """TPM monotonic counter: ≈97 ms write, ≈35 ms read (Table 4); TPM NV
+    write-cycle budgets are limited (~10^6)."""
+    return PersistentCounter(
+        name="TPM", write_ms=97.0, read_ms=35.0,
+        write_jitter_ms=3.0, read_jitter_ms=2.0, max_write_cycles=1_000_000,
+    )
+
+
+def SGXCounter() -> PersistentCounter:
+    """SGX monotonic counter: ≈160 ms write, ≈61 ms read (Table 4; the
+    service is deprecated on real hardware, footnote 2)."""
+    return PersistentCounter(
+        name="SGX", write_ms=160.0, read_ms=61.0,
+        write_jitter_ms=5.0, read_jitter_ms=3.0, max_write_cycles=1_000_000,
+    )
+
+
+def NarratorCounter(environment: str = "LAN") -> PersistentCounter:
+    """Narrator-style distributed software counter (Table 4): LAN writes
+    8–10 ms / reads 4–5 ms, WAN writes 40–50 ms / reads 25 ms."""
+    env = environment.upper()
+    if env == "LAN":
+        return PersistentCounter(
+            name="Narrator_LAN", write_ms=9.0, read_ms=4.5,
+            write_jitter_ms=1.0, read_jitter_ms=0.5,
+        )
+    if env == "WAN":
+        return PersistentCounter(
+            name="Narrator_WAN", write_ms=45.0, read_ms=25.0,
+            write_jitter_ms=5.0, read_jitter_ms=0.0,
+        )
+    raise ConfigurationError(f"unknown Narrator environment: {environment!r}")
+
+
+def ConfigurableCounter(write_ms: float, read_ms: Optional[float] = None) -> PersistentCounter:
+    """A counter with an arbitrary write latency — the paper's evaluation
+    default is 20 ms (Sec. 5.1), and Fig. 5 sweeps {0, 10, 20, 40, 80} ms."""
+    return PersistentCounter(
+        name=f"counter[{write_ms:g}ms]",
+        write_ms=write_ms,
+        read_ms=read_ms if read_ms is not None else write_ms / 2.0,
+    )
+
+
+def NullCounter() -> PersistentCounter:
+    """A free counter (monotonic but costless) — models 'no rollback
+    prevention' variants such as plain Damysus/OneShot."""
+    return PersistentCounter(name="null", write_ms=0.0, read_ms=0.0)
+
+
+def counter_from_spec(spec: str, write_ms: float = 20.0) -> PersistentCounter:
+    """Build a counter from a config string: ``tpm``, ``sgx``,
+    ``narrator-lan``, ``narrator-wan``, ``null``, or ``configurable``."""
+    key = spec.lower()
+    if key == "tpm":
+        return TPMCounter()
+    if key == "sgx":
+        return SGXCounter()
+    if key == "narrator-lan":
+        return NarratorCounter("LAN")
+    if key == "narrator-wan":
+        return NarratorCounter("WAN")
+    if key == "null":
+        return NullCounter()
+    if key == "configurable":
+        return ConfigurableCounter(write_ms)
+    raise ConfigurationError(f"unknown counter spec: {spec!r}")
+
+
+__all__ = [
+    "PersistentCounter",
+    "TPMCounter",
+    "SGXCounter",
+    "NarratorCounter",
+    "ConfigurableCounter",
+    "NullCounter",
+    "counter_from_spec",
+]

@@ -1,0 +1,255 @@
+"""A Narrator-style distributed state-continuity service.
+
+The paper's Table 4 cites Narrator [47] — a *software* persistent counter:
+instead of TPM NVRAM, a small group of TEE-equipped state monitors keep a
+replicated counter; an application enclave increments it with a two-step
+majority broadcast (request → acks).  Its write latency is therefore a
+network round trip (8–10 ms in the authors' LAN including SGX overheads),
+its read a local-majority query, and the counter survives any minority of
+monitor crashes while remaining rollback-proof for the client.
+
+:class:`NarratorService` implements that design on the simulation
+substrate: monitors are processes on the network, and
+:class:`DistributedCounter` exposes the same ``increment``/``read``
+interface as the latency-model counters in :mod:`repro.tee.counters`,
+except the latency *emerges* from the protocol instead of being configured.
+The -R protocol variants keep using the calibrated latency models (so the
+paper's numbers stay pinned); this module exists as the working substrate
+behind those numbers and as a library feature in its own right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import CounterError
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.loop import Simulator
+
+#: Monitor node ids live in their own range, away from replicas/clients.
+MONITOR_ID_BASE = 20_000
+
+
+@dataclass(frozen=True)
+class CounterWrite:
+    """Client → monitor: replicate ``value`` for ``counter_name``."""
+
+    counter_name: str
+    value: int
+    request_id: int
+    reply_to: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.counter_name) + 20
+
+
+@dataclass(frozen=True)
+class CounterAck:
+    """Monitor → client: write acknowledged."""
+
+    counter_name: str
+    value: int
+    request_id: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.counter_name) + 16
+
+
+@dataclass(frozen=True)
+class CounterQuery:
+    """Client → monitor: report your value for ``counter_name``."""
+
+    counter_name: str
+    request_id: int
+    reply_to: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.counter_name) + 16
+
+
+@dataclass(frozen=True)
+class CounterValue:
+    """Monitor → client: current value."""
+
+    counter_name: str
+    value: int
+    request_id: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return len(self.counter_name) + 16
+
+
+class StateMonitor(Process):
+    """One TEE state monitor: holds the latest value per counter."""
+
+    def __init__(self, sim: Simulator, network: Network, monitor_id: int) -> None:
+        super().__init__(sim, name=f"monitor{monitor_id}")
+        self.network = network
+        self.monitor_id = monitor_id
+        self.values: dict[str, int] = {}
+        network.attach(monitor_id, self)
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Serve writes (monotonic) and queries."""
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, CounterWrite):
+            current = self.values.get(payload.counter_name, 0)
+            if payload.value > current:
+                self.values[payload.counter_name] = payload.value
+            self.network.send(self.monitor_id, payload.reply_to, CounterAck(
+                counter_name=payload.counter_name,
+                value=max(payload.value, current),
+                request_id=payload.request_id,
+            ))
+        elif isinstance(payload, CounterQuery):
+            self.network.send(self.monitor_id, payload.reply_to, CounterValue(
+                counter_name=payload.counter_name,
+                value=self.values.get(payload.counter_name, 0),
+                request_id=payload.request_id,
+            ))
+
+
+class DistributedCounter(Process):
+    """A client-side handle: majority-replicated monotonic counter.
+
+    ``increment(callback)`` broadcasts the next value to all monitors and
+    fires ``callback(value, latency_ms)`` once a majority acked —
+    after which the value can never be observed to regress, even if this
+    client enclave reboots and re-derives its position via :meth:`recover`.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, client_id: int,
+                 counter_name: str, monitor_ids: list[int]) -> None:
+        super().__init__(sim, name=f"counter-client{client_id}")
+        self.network = network
+        self.client_id = client_id
+        self.counter_name = counter_name
+        self.monitor_ids = list(monitor_ids)
+        self.value = 0
+        self._next_request = 0
+        self._pending: dict[int, dict] = {}
+        network.attach(client_id, self)
+        self.writes_completed = 0
+
+    @property
+    def majority(self) -> int:
+        """Acks needed for durability."""
+        return len(self.monitor_ids) // 2 + 1
+
+    # ------------------------------------------------------------------
+    def increment(self, callback: Callable[[int, float], None]) -> int:
+        """Start an increment; returns the value being written."""
+        self.value += 1
+        self._next_request += 1
+        request_id = self._next_request
+        self._pending[request_id] = {
+            "kind": "write", "value": self.value, "acks": set(),
+            "started": self.sim.now, "callback": callback,
+        }
+        for monitor in self.monitor_ids:
+            self.network.send(self.client_id, monitor, CounterWrite(
+                counter_name=self.counter_name, value=self.value,
+                request_id=request_id, reply_to=self.client_id,
+            ))
+        return self.value
+
+    def recover(self, callback: Callable[[int, float], None]) -> None:
+        """After a reboot: learn the counter's value from a majority.
+
+        The recovered value is the *maximum* over a majority of monitors —
+        any write that ever completed is included, so the rebooted client
+        can never fall behind its own past (no rollback)."""
+        self._next_request += 1
+        request_id = self._next_request
+        self._pending[request_id] = {
+            "kind": "read", "replies": {}, "started": self.sim.now,
+            "callback": callback,
+        }
+        for monitor in self.monitor_ids:
+            self.network.send(self.client_id, monitor, CounterQuery(
+                counter_name=self.counter_name, request_id=request_id,
+                reply_to=self.client_id,
+            ))
+
+    # ------------------------------------------------------------------
+    def deliver(self, envelope: Envelope) -> None:
+        """Collect acks/values; complete operations at majority."""
+        if not self.alive:
+            return
+        payload = envelope.payload
+        pending = self._pending.get(payload.request_id) \
+            if hasattr(payload, "request_id") else None
+        if pending is None:
+            return
+        if isinstance(payload, CounterAck) and pending["kind"] == "write":
+            # The ack echoes the monitor's resulting value.  If a monitor
+            # is ahead of this client's *current* counter, the client's
+            # enclave state is stale (a reboot without recover()).
+            if payload.value > self.value:
+                raise CounterError(
+                    "monitor reports a higher value: this client's enclave "
+                    "state is stale — increment after recover()"
+                )
+            pending["acks"].add(envelope.src)
+            if len(pending["acks"]) >= self.majority:
+                del self._pending[payload.request_id]
+                self.writes_completed += 1
+                pending["callback"](pending["value"],
+                                    self.sim.now - pending["started"])
+        elif isinstance(payload, CounterValue) and pending["kind"] == "read":
+            pending["replies"][envelope.src] = payload.value
+            if len(pending["replies"]) >= self.majority:
+                del self._pending[payload.request_id]
+                recovered = max(pending["replies"].values())
+                self.value = max(self.value, recovered)
+                pending["callback"](self.value,
+                                    self.sim.now - pending["started"])
+
+    def reboot(self) -> None:
+        """Crash-and-restart the client enclave: in-memory position lost."""
+        super().reboot()
+        self.value = 0
+        self._pending.clear()
+
+
+class NarratorService:
+    """Convenience: spin up ``n_monitors`` state monitors on a network."""
+
+    def __init__(self, sim: Simulator, network: Network, n_monitors: int = 5) -> None:
+        self.monitors = [
+            StateMonitor(sim, network, MONITOR_ID_BASE + i)
+            for i in range(n_monitors)
+        ]
+        self.sim = sim
+        self.network = network
+        self._next_client = 0
+
+    def monitor_ids(self) -> list[int]:
+        """Network ids of the monitors."""
+        return [m.monitor_id for m in self.monitors]
+
+    def new_counter(self, counter_name: str) -> DistributedCounter:
+        """Create a client handle for a named counter."""
+        self._next_client += 1
+        return DistributedCounter(
+            self.sim, self.network,
+            client_id=MONITOR_ID_BASE + 10_000 + self._next_client,
+            counter_name=counter_name, monitor_ids=self.monitor_ids(),
+        )
+
+
+__all__ = [
+    "NarratorService",
+    "DistributedCounter",
+    "StateMonitor",
+    "MONITOR_ID_BASE",
+]

@@ -1,0 +1,65 @@
+"""Rollback-prevention wiring (the paper's Sec. 2.1 recipe).
+
+``RStateMixin`` adds the store-then-increment dance to a trusted
+component: every state-updating ECALL seals the new state to untrusted
+storage and (when a persistent counter is attached) increments the
+counter, charging its write latency to the invocation.  The -R protocol
+variants (Damysus-R, OneShot-R, MinBFT-R) and FlexiBFT's proposer use it;
+Achilles never does — that is the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tee.counters import PersistentCounter
+
+
+class RStateMixin:
+    """Rollback-prevention wiring for a trusted component.
+
+    Mix into an :class:`~repro.tee.enclave.Enclave` subclass and call
+    :meth:`protect_state_update` from every ECALL that mutates consensus
+    state.  With a real (non-null) counter attached this performs the
+    store-then-increment dance and charges its latency; with no counter it
+    is free — which is precisely the unprotected (rollback-vulnerable)
+    baseline configuration.
+    """
+
+    counter: Optional[PersistentCounter] = None
+    counter_writes: int = 0
+    _state_version: int = 0
+
+    def attach_counter(self, counter: Optional[PersistentCounter]) -> None:
+        """Install the persistent counter (None = no rollback prevention)."""
+        self.counter = counter
+        self.counter_writes = 0
+        self._state_version = 0
+
+    def protect_state_update(self, state_payload: object) -> None:
+        """Seal the new state; with a counter, bind it and pay the write.
+
+        Without a counter the state is still sealed (so a reboot can
+        restore it) but *nothing authenticates freshness* — the rollback
+        vulnerability of the unprotected baselines.
+        """
+        self._state_version += 1
+        # Store operation: persist the sealed state with its version.
+        self.seal_state("rstate", (self._state_version, state_payload))  # type: ignore[attr-defined]
+        if self.counter is None:
+            return
+        # Increase operation: the expensive persistent write.
+        _, latency = self.counter.increment()
+        self.charge(latency)  # type: ignore[attr-defined]
+        self.counter_writes += 1
+
+    def protected_read_latency(self) -> float:
+        """Latency of the post-reboot freshness check (counter read)."""
+        if self.counter is None:
+            return 0.0
+        _, latency = self.counter.read()
+        return latency
+
+
+
+__all__ = ["RStateMixin"]

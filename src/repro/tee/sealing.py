@@ -1,0 +1,127 @@
+"""Sealed storage on an untrusted disk.
+
+SGX ``seal``/``unseal`` bind data to the enclave identity (MRENCLAVE) with
+authenticated encryption, but give **no freshness**: the OS stores the
+blobs and can serve any authentic old version after a reboot.  We model
+this with :class:`SealedBlob` (authenticated by a per-enclave
+:class:`SealingKey`) kept in an :class:`UntrustedStore` that retains every
+version ever written — the adversary chooses which version an unsealing
+enclave gets (see :mod:`repro.tee.rollback`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.hashing import digest_of
+from repro.errors import SealingError
+
+
+@dataclass(frozen=True)
+class SealingKey:
+    """Per-enclave sealing key (derived from CPU fuses + MRENCLAVE on real
+    SGX; here a capability object the adversary never holds)."""
+
+    enclave_identity: str
+    _secret: bytes = field(repr=False)
+
+    @classmethod
+    def derive(cls, enclave_identity: str, platform_seed: int = 0) -> "SealingKey":
+        """Deterministically derive the sealing key for an enclave identity."""
+        secret = hashlib.sha256(f"seal/{platform_seed}/{enclave_identity}".encode()).digest()
+        return cls(enclave_identity=enclave_identity, _secret=secret)
+
+    def mac(self, payload_digest: str, version: int) -> str:
+        """Authentication tag over (identity, payload, version)."""
+        msg = f"{self.enclave_identity}|{payload_digest}|{version}".encode()
+        return hmac.new(self._secret, msg, hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """One authenticated-encrypted snapshot of enclave state.
+
+    ``payload`` is carried in the clear for simulation convenience, but the
+    API contract is that only code holding the :class:`SealingKey` unseals
+    it — the adversary can copy, replay, and reorder blobs, not read or
+    forge them.
+    """
+
+    enclave_identity: str
+    payload: Any
+    version: int
+    tag: str
+
+    @property
+    def digest(self) -> str:
+        """Content digest (used for store bookkeeping)."""
+        return digest_of(self.enclave_identity, self.version, self.payload)
+
+
+def seal(key: SealingKey, payload: Any, version: int) -> SealedBlob:
+    """Produce an authenticated snapshot of ``payload``."""
+    payload_digest = digest_of(payload)
+    return SealedBlob(
+        enclave_identity=key.enclave_identity,
+        payload=payload,
+        version=version,
+        tag=key.mac(payload_digest, version),
+    )
+
+
+def unseal(key: SealingKey, blob: SealedBlob) -> Any:
+    """Authenticate and open a snapshot.
+
+    Raises :class:`SealingError` for forged/corrupted/wrong-enclave blobs.
+    A *stale but authentic* blob opens fine — detecting staleness is the
+    whole rollback-prevention problem.
+    """
+    if blob.enclave_identity != key.enclave_identity:
+        raise SealingError("blob sealed for a different enclave identity")
+    payload_digest = digest_of(blob.payload)
+    expected = key.mac(payload_digest, blob.version)
+    if not hmac.compare_digest(expected, blob.tag):
+        raise SealingError("sealed blob failed authentication")
+    return blob.payload
+
+
+class UntrustedStore:
+    """The OS-controlled disk: keeps *every* version of every sealed item.
+
+    Honest operation returns the latest version; the rollback attacker
+    overrides :meth:`fetch` selection via ``serve_version``.
+    """
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[SealedBlob]] = {}
+
+    def store(self, name: str, blob: SealedBlob) -> None:
+        """Persist a new version of ``name`` (old versions are retained —
+        the adversary never forgets)."""
+        self._versions.setdefault(name, []).append(blob)
+
+    def fetch(self, name: str, version_index: Optional[int] = None) -> Optional[SealedBlob]:
+        """Return a stored blob: the latest by default, or any retained
+        ``version_index`` (adversary's choice)."""
+        versions = self._versions.get(name)
+        if not versions:
+            return None
+        if version_index is None:
+            return versions[-1]
+        if 0 <= version_index < len(versions):
+            return versions[version_index]
+        return None
+
+    def version_count(self, name: str) -> int:
+        """How many versions of ``name`` are retained."""
+        return len(self._versions.get(name, []))
+
+    def names(self) -> list[str]:
+        """All stored item names."""
+        return sorted(self._versions)
+
+
+__all__ = ["SealingKey", "SealedBlob", "seal", "unseal", "UntrustedStore"]

@@ -1,0 +1,139 @@
+"""Integration tests: real clients, block synchronization, and the network
+adversary interacting with a live cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.client import SimulatedClient
+from repro.client.workload import QueueSource
+from repro.consensus.cluster import build_cluster
+from repro.core.node import AchillesNode
+from repro.harness.metrics import MetricsCollector
+from repro.net.latency import LAN_PROFILE
+
+from tests.conftest import fast_config
+
+
+def client_cluster(f=1, seed=8):
+    sources = {}
+
+    def factory(sim):
+        q = QueueSource()
+        sources["q"] = q
+        return q
+
+    collector = MetricsCollector()
+    cluster = build_cluster(
+        node_factory=AchillesNode, config=fast_config(f=f),
+        latency=LAN_PROFILE, source_factory=factory,
+        listener=collector, seed=seed,
+    )
+    cluster.collector = collector
+    return cluster
+
+
+class TestSimulatedClients:
+    def test_submit_and_reply_roundtrip(self):
+        cluster = client_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, client_index=0,
+                                 n_replicas=cluster.config.n)
+        cluster.start()
+        for i in range(5):
+            cluster.sim.schedule(10.0 + i, lambda i=i: client.submit(
+                payload=f"SET key{i} value{i}", to_replica=0))
+        cluster.run(500.0)
+        cluster.assert_safety()
+        assert client.all_replied()
+        latencies = client.latencies()
+        assert len(latencies) == 5
+        assert all(lat > 0 for lat in latencies)
+
+    def test_duplicate_submission_not_executed_twice(self):
+        cluster = client_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, client_index=0,
+                                 n_replicas=cluster.config.n)
+        cluster.start()
+        cluster.sim.schedule(10.0, lambda: client.submit("SET a 1"))
+        cluster.run(300.0)
+        # Retransmit the same transaction to every replica.
+        record = next(iter(client.records.values()))
+        from repro.consensus.messages import ClientRequest
+
+        for replica in range(cluster.config.n):
+            cluster.network.send(client.client_id, replica,
+                                 ClientRequest(tx=record.tx,
+                                               reply_to=client.client_id))
+        cluster.run(300.0)
+        cluster.assert_safety()
+        total = sum(
+            1 for block in cluster.nodes[0].store.committed_chain()
+            for tx in block.txs if tx.key == record.tx.key
+        )
+        assert total == 1
+
+    def test_client_retry_reaches_other_replicas_when_target_is_dead(self):
+        cluster = client_cluster(f=1)
+        client = SimulatedClient(cluster.sim, cluster.network, client_index=0,
+                                 n_replicas=cluster.config.n, retry_ms=150.0)
+        cluster.nodes[0].crash()  # the replica the client targets
+        cluster.start()
+        cluster.sim.schedule(10.0, lambda: client.submit("SET a 1", to_replica=0))
+        cluster.run(1500.0)
+        cluster.assert_safety()
+        assert client.all_replied()
+
+    def test_multiple_clients(self):
+        cluster = client_cluster()
+        clients = [
+            SimulatedClient(cluster.sim, cluster.network, client_index=i,
+                            n_replicas=cluster.config.n)
+            for i in range(3)
+        ]
+        cluster.start()
+        for ci, client in enumerate(clients):
+            for i in range(4):
+                cluster.sim.schedule(
+                    5.0 + i, lambda c=client, ci=ci, i=i: c.submit(
+                        f"SET c{ci}k{i} v", to_replica=ci % cluster.config.n))
+        cluster.run(800.0)
+        assert all(c.all_replied() for c in clients)
+
+
+class TestBlockSynchronization:
+    def test_isolated_node_pulls_missed_blocks(self):
+        """Partition one node away, let the rest commit, heal, and watch
+        the straggler pull ancestors and commit the whole backlog."""
+        from tests.conftest import achilles_cluster
+
+        cluster = achilles_cluster(f=2)
+        others = set(range(cluster.config.n)) - {4}
+        cluster.network.adversary.partition(others, {4})
+        cluster.start()
+        cluster.run(300.0)
+        assert cluster.nodes[4].store.committed_tip.height == 0
+        backlog = cluster.nodes[0].store.committed_tip.height
+        assert backlog >= 5
+        cluster.network.adversary.heal_partition()
+        cluster.run(500.0)
+        cluster.assert_safety()
+        assert cluster.nodes[4].store.committed_tip.height >= backlog
+
+    def test_sync_requests_answered_from_store(self):
+        from tests.conftest import achilles_cluster
+        from repro.consensus.messages import BlockSyncRequest, BlockSyncResponse
+
+        cluster = achilles_cluster(f=1)
+        cluster.start()
+        cluster.run(100.0)
+        target = cluster.nodes[0].store.committed_tip
+        # Node 1 asks node 0 for the tip block explicitly.
+        responses = []
+        cluster.network.adversary.intercept = (
+            lambda s, d, p: responses.append(p)
+            if isinstance(p, BlockSyncResponse) else None
+        )
+        cluster.network.send(1, 0, BlockSyncRequest(block_hash=target.hash,
+                                                    requester=1))
+        cluster.run(50.0)
+        assert any(r.block.hash == target.hash for r in responses)

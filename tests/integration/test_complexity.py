@@ -1,0 +1,59 @@
+"""Message complexity (Table 1): O(n) for the chained protocols, O(n²) for
+FlexiBFT — measured from network counters, not asserted from theory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.analysis import messages_linear_in_n
+
+
+def growth_exponent(points: list[tuple[int, float]]) -> float:
+    """Fit messages-per-commit ≈ c · n^k over measured points (log-log
+    slope between the extremes)."""
+    import math
+
+    (n0, m0), (n1, m1) = points[0], points[-1]
+    return math.log(m1 / m0) / math.log(n1 / n0)
+
+
+class TestMessageComplexity:
+    def test_achilles_linear(self):
+        points = messages_linear_in_n("achilles", fs=(2, 4, 8))
+        k = growth_exponent(points)
+        assert 0.7 <= k <= 1.3, f"expected O(n), measured n^{k:.2f}: {points}"
+
+    def test_damysus_linear(self):
+        points = messages_linear_in_n("damysus", fs=(2, 4, 8))
+        k = growth_exponent(points)
+        assert 0.7 <= k <= 1.3, f"expected O(n), measured n^{k:.2f}: {points}"
+
+    def test_oneshot_linear(self):
+        points = messages_linear_in_n("oneshot", fs=(2, 4, 8))
+        k = growth_exponent(points)
+        assert 0.7 <= k <= 1.3, f"expected O(n), measured n^{k:.2f}: {points}"
+
+    def test_flexibft_quadratic(self):
+        points = messages_linear_in_n("flexibft", fs=(2, 4, 8))
+        k = growth_exponent(points)
+        assert 1.6 <= k <= 2.4, f"expected O(n²), measured n^{k:.2f}: {points}"
+
+    def test_braft_linear(self):
+        points = messages_linear_in_n("braft", fs=(2, 4, 8))
+        k = growth_exponent(points)
+        assert 0.7 <= k <= 1.3, f"expected O(n), measured n^{k:.2f}: {points}"
+
+
+class TestPerViewMessageCounts:
+    def test_achilles_three_linear_rounds(self):
+        """Per committed block: proposal (n-1) + votes (~n) + decide (n-1)
+        → about 3n messages, no more."""
+        points = messages_linear_in_n("achilles", fs=(4,))
+        n, per_commit = points[0]
+        assert per_commit <= 3.6 * n
+
+    def test_flexibft_vote_storm(self):
+        """Per committed block: proposal (n-1) + n·(n-1) votes."""
+        points = messages_linear_in_n("flexibft", fs=(4,))
+        n, per_commit = points[0]
+        assert per_commit >= 0.7 * n * n

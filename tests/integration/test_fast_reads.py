@@ -1,0 +1,116 @@
+"""The consensus-free read path (paper Sec. 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.client import SimulatedClient
+from repro.client.workload import QueueSource
+from repro.consensus.cluster import build_cluster
+from repro.core.node import AchillesNode
+from repro.harness.metrics import MetricsCollector
+from repro.net.latency import LAN_PROFILE
+
+from tests.conftest import fast_config
+
+
+def read_cluster(f=2, seed=14):
+    config = fast_config(f=f, maintain_state=True)
+    collector = MetricsCollector()
+    cluster = build_cluster(
+        node_factory=AchillesNode, config=config, latency=LAN_PROFILE,
+        source_factory=lambda sim: QueueSource(),
+        listener=collector, seed=seed,
+    )
+    cluster.collector = collector
+    return cluster
+
+
+class TestFastReads:
+    def test_read_returns_committed_value(self):
+        cluster = read_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, 0,
+                                 cluster.config.n)
+        cluster.start()
+        cluster.sim.schedule(10.0, lambda: client.submit("SET color blue"))
+        cluster.run(300.0)
+        assert client.all_replied()
+        operation = client.read("color", f=cluster.config.f)
+        cluster.run(100.0)
+        assert operation.done
+        assert operation.value == "blue"
+
+    def test_read_of_missing_key_returns_none(self):
+        cluster = read_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, 0,
+                                 cluster.config.n)
+        cluster.start()
+        cluster.run(50.0)
+        operation = client.read("ghost", f=cluster.config.f)
+        cluster.run(100.0)
+        assert operation.done
+        assert operation.value is None
+
+    def test_read_is_much_faster_than_a_write(self):
+        cluster = read_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, 0,
+                                 cluster.config.n)
+        cluster.start()
+        cluster.sim.schedule(10.0, lambda: client.submit("SET k v"))
+        cluster.run(300.0)
+        write_latency = client.latencies()[0]
+        operation = client.read("k", f=cluster.config.f)
+        cluster.run(100.0)
+        # One round trip, no consensus: well under the write latency.
+        assert operation.latency_ms < write_latency
+
+    def test_read_needs_n_minus_f_matching_answers(self):
+        """With f replicas crashed, exactly n−f answer — the quorum is
+        just met; with f+1 crashed the read cannot complete."""
+        cluster = read_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, 0,
+                                 cluster.config.n)
+        cluster.start()
+        cluster.sim.schedule(10.0, lambda: client.submit("SET k v"))
+        cluster.run(300.0)
+        cluster.nodes[1].crash()
+        cluster.nodes[3].crash()
+        op1 = client.read("k", f=cluster.config.f)
+        cluster.run(100.0)
+        assert op1.done and op1.value == "v"
+        cluster.nodes[4].crash()  # f+1 down: no quorum possible
+        op2 = client.read("k2", f=cluster.config.f)
+        cluster.run(200.0)
+        assert not op2.done
+
+    def test_minority_of_divergent_replies_cannot_fool_the_client(self):
+        """f Byzantine replicas answering garbage cannot produce an n−f
+        quorum for a wrong value."""
+        cluster = read_cluster()
+        client = SimulatedClient(cluster.sim, cluster.network, 0,
+                                 cluster.config.n)
+        cluster.start()
+        cluster.sim.schedule(10.0, lambda: client.submit("SET k honest"))
+        cluster.run(300.0)
+        # Corrupt two replicas' state machines (Byzantine hosts).
+        cluster.nodes[1].state_machine._state["k"] = "evil"
+        cluster.nodes[3].state_machine._state["k"] = "evil"
+        operation = client.read("k", f=cluster.config.f)
+        cluster.run(100.0)
+        assert operation.done
+        assert operation.value == "honest"
+
+    def test_replicas_without_state_machine_stay_silent(self):
+        config = fast_config(f=1)  # maintain_state off
+        collector = MetricsCollector()
+        cluster = build_cluster(
+            node_factory=AchillesNode, config=config, latency=LAN_PROFILE,
+            source_factory=lambda sim: QueueSource(),
+            listener=collector, seed=14,
+        )
+        client = SimulatedClient(cluster.sim, cluster.network, 0,
+                                 cluster.config.n)
+        cluster.start()
+        operation = client.read("k", f=cluster.config.f)
+        cluster.run(100.0)
+        assert not operation.done

@@ -1,0 +1,76 @@
+"""Communication-step accounting (Table 1's 'Commun. Steps' column).
+
+In WAN the one-way delay (20 ms) dominates every other cost, so measured
+latencies expose the protocols' step counts directly:
+
+* commit latency (leader proposes → first commit) ≈ (steps − 2) × 20 ms,
+  because the client hop before and the reply hop after are not included;
+* end-to-end latency adds the two client hops back.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run_experiment
+
+ONE_WAY = 20.0
+
+
+def wan_result(protocol: str, **kwargs):
+    defaults = dict(f=1, network="WAN", batch_size=50, payload_size=64,
+                    duration_ms=2500, warmup_ms=500, seed=8)
+    defaults.update(kwargs)
+    return run_experiment(protocol, **defaults)
+
+
+class TestStepCounts:
+    def test_achilles_four_steps_end_to_end(self):
+        result = wan_result("achilles")
+        # propose + vote = 2 one-way steps of commit latency...
+        assert result.commit_latency_ms == pytest.approx(2 * ONE_WAY, abs=6.0)
+        # ...plus client request + reply = 4 steps end-to-end.
+        assert result.e2e_latency_ms == pytest.approx(4 * ONE_WAY, abs=8.0)
+
+    def test_oneshot_fast_path_matches_achilles(self):
+        result = wan_result("oneshot")
+        assert result.commit_latency_ms == pytest.approx(2 * ONE_WAY, abs=6.0)
+
+    def test_damysus_six_steps_end_to_end(self):
+        result = wan_result("damysus")
+        # two voting phases: propose+vote+prepared+commit-vote = 4 one-way.
+        assert result.commit_latency_ms == pytest.approx(4 * ONE_WAY, abs=8.0)
+        assert result.e2e_latency_ms == pytest.approx(6 * ONE_WAY, abs=10.0)
+
+    def test_flexibft_four_steps(self):
+        result = wan_result("flexibft", counter_write_ms=0.0)
+        assert result.commit_latency_ms == pytest.approx(2 * ONE_WAY, abs=6.0)
+
+    def test_minbft_four_steps(self):
+        # f must exceed 1: at f=1 a backup already holds f+1 UIs (the
+        # leader's prepare plus its own commit) one step after the prepare.
+        result = wan_result("minbft", f=2)
+        assert result.commit_latency_ms == pytest.approx(2 * ONE_WAY, abs=6.0)
+
+    def test_minbft_commits_one_step_early_at_f1(self):
+        result = wan_result("minbft", f=1)
+        assert result.commit_latency_ms == pytest.approx(1 * ONE_WAY, abs=6.0)
+
+    def test_braft_four_steps(self):
+        result = wan_result("braft")
+        assert result.commit_latency_ms == pytest.approx(2 * ONE_WAY, abs=6.0)
+
+    def test_counter_writes_add_on_top_of_steps(self):
+        """Damysus-R's WAN latency = its 4 one-way steps + 4 serialized
+        20 ms counter writes."""
+        result = wan_result("damysus-r", counter_write_ms=20.0)
+        assert result.commit_latency_ms == pytest.approx(
+            4 * ONE_WAY + 4 * 20.0, abs=10.0)
+
+    def test_achilles_inter_block_is_three_steps(self):
+        """Throughput exposes the inter-block gap: Decide must reach the
+        next leader, so blocks are 3 one-way steps apart in WAN."""
+        result = wan_result("achilles", duration_ms=4000)
+        blocks_per_second = result.blocks_committed / 3.5  # measured window
+        gap_ms = 1000.0 / blocks_per_second
+        assert gap_ms == pytest.approx(3 * ONE_WAY, abs=8.0)

@@ -1,0 +1,149 @@
+"""The Narrator-style distributed counter service: monotonicity, emergent
+latency, fault tolerance, and rollback-proof client recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import FixedLatency, LAN_PROFILE, WAN_PROFILE
+from repro.net.network import Network
+from repro.sim.loop import Simulator
+from repro.tee.narrator import NarratorService
+
+
+def make_service(latency=LAN_PROFILE, n_monitors=5, seed=2):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=latency,
+                      bandwidth=BandwidthModel.unlimited())
+    service = NarratorService(sim, network, n_monitors=n_monitors)
+    return sim, network, service
+
+
+class TestIncrement:
+    def test_values_are_sequential_and_acknowledged(self):
+        sim, _net, service = make_service()
+        counter = service.new_counter("c")
+        completions = []
+        for _ in range(5):
+            counter.increment(lambda v, lat: completions.append((v, lat)))
+        sim.run(until=50.0)
+        # Five concurrent writes: values 1..5 each durable exactly once
+        # (completion callbacks may arrive out of order under jitter).
+        assert sorted(v for v, _ in completions) == [1, 2, 3, 4, 5]
+        assert counter.writes_completed == 5
+
+    def test_write_latency_is_one_round_trip(self):
+        sim, _net, service = make_service(latency=FixedLatency("f", 5.0))
+        counter = service.new_counter("c")
+        latencies = []
+        counter.increment(lambda v, lat: latencies.append(lat))
+        sim.run(until=100.0)
+        assert latencies[0] == pytest.approx(10.0, abs=0.1)  # 2 × one-way
+
+    def test_wan_writes_cost_a_wan_round_trip(self):
+        sim, _net, service = make_service(latency=WAN_PROFILE)
+        counter = service.new_counter("c")
+        latencies = []
+        counter.increment(lambda v, lat: latencies.append(lat))
+        sim.run(until=200.0)
+        # The paper's Narrator_WAN writes at 40–50 ms: one WAN round trip.
+        assert 38.0 <= latencies[0] <= 52.0
+
+    def test_independent_counters_do_not_interfere(self):
+        sim, _net, service = make_service()
+        a = service.new_counter("a")
+        b = service.new_counter("b")
+        done = []
+        a.increment(lambda v, lat: done.append(("a", v)))
+        b.increment(lambda v, lat: done.append(("b", v)))
+        b.increment(lambda v, lat: done.append(("b", v)))
+        sim.run(until=50.0)
+        assert ("a", 1) in done and ("b", 2) in done
+
+
+class TestFaultTolerance:
+    def test_writes_survive_minority_monitor_crashes(self):
+        sim, _net, service = make_service(n_monitors=5)
+        service.monitors[0].crash()
+        service.monitors[1].crash()
+        counter = service.new_counter("c")
+        done = []
+        counter.increment(lambda v, lat: done.append(v))
+        sim.run(until=50.0)
+        assert done == [1]  # 3 of 5 monitors still a majority
+
+    def test_majority_monitor_crashes_block_writes(self):
+        sim, _net, service = make_service(n_monitors=5)
+        for monitor in service.monitors[:3]:
+            monitor.crash()
+        counter = service.new_counter("c")
+        done = []
+        counter.increment(lambda v, lat: done.append(v))
+        sim.run(until=200.0)
+        assert done == []  # liveness lost, as designed
+
+
+class TestClientRecovery:
+    def test_rebooted_client_recovers_its_position(self):
+        """The state-continuity property: after losing its in-memory
+        counter, the client re-derives a value ≥ every completed write."""
+        sim, _net, service = make_service()
+        counter = service.new_counter("c")
+        for _ in range(4):
+            counter.increment(lambda v, lat: None)
+        sim.run(until=50.0)
+        assert counter.value == 4
+        counter.reboot()
+        assert counter.value == 0  # volatile position lost
+        recovered = []
+        counter.recover(lambda v, lat: recovered.append(v))
+        sim.run(until=100.0)
+        assert recovered == [4]
+        # Next increment continues the sequence — values never reused.
+        done = []
+        counter.increment(lambda v, lat: done.append(v))
+        sim.run(until=150.0)
+        assert done == [5]
+
+    def test_stale_client_increment_is_detected(self):
+        """A client that skips recovery after a reboot would try to reuse
+        value 1; the monitors' acks expose the staleness loudly."""
+        from repro.errors import CounterError
+
+        sim, _net, service = make_service()
+        counter = service.new_counter("c")
+        for _ in range(3):
+            counter.increment(lambda v, lat: None)
+        sim.run(until=50.0)
+        counter.reboot()
+        # No recover(): the enclave "rolled back" to zero and increments.
+        counter.increment(lambda v, lat: None)
+        with pytest.raises(CounterError, match="stale"):
+            sim.run(until=100.0)
+
+    def test_recovery_covers_partially_replicated_writes(self):
+        """Even a write that reached only some monitors before the client
+        died is reflected after recovery (max over a majority)."""
+        sim, _net, service = make_service(n_monitors=3)
+        counter = service.new_counter("c")
+        counter.increment(lambda v, lat: None)
+        sim.run(until=50.0)
+        # Second write: deliver to exactly one monitor, then crash client.
+        service.network.adversary.drop_link(counter.client_id,
+                                            service.monitors[1].monitor_id)
+        service.network.adversary.drop_link(counter.client_id,
+                                            service.monitors[2].monitor_id)
+        counter.increment(lambda v, lat: None)
+        sim.run(until=60.0)
+        counter.reboot()
+        service.network.adversary.clear()
+        recovered = []
+        counter.recover(lambda v, lat: recovered.append(v))
+        sim.run(until=120.0)
+        # max over a majority that includes monitor 0 → sees value 2.
+        assert recovered[0] >= 1
+        done = []
+        counter.increment(lambda v, lat: done.append(v))
+        sim.run(until=200.0)
+        assert done and done[0] == recovered[0] + 1

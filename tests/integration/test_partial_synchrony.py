@@ -1,0 +1,68 @@
+"""Partial synchrony: liveness holds after GST (paper Sec. 3.1 model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.workload import SaturatedSource
+from repro.consensus.cluster import build_cluster
+from repro.core.node import AchillesNode
+from repro.harness.metrics import MetricsCollector
+from repro.net.latency import LAN_PROFILE
+from repro.net.synchrony import PartialSynchrony
+
+from tests.conftest import fast_config
+
+
+def cluster_with_gst(gst_ms: float, pre_gst_extra: float = 400.0, seed: int = 10):
+    collector = MetricsCollector()
+    synchrony = PartialSynchrony(
+        delta_ms=50.0, gst_ms=gst_ms, pre_gst_max_extra_ms=pre_gst_extra,
+    )
+    cluster = build_cluster(
+        node_factory=AchillesNode,
+        config=fast_config(f=2, base_timeout_ms=80.0),
+        latency=LAN_PROFILE,
+        source_factory=lambda sim: SaturatedSource(sim, payload_size=16),
+        listener=collector,
+        seed=seed,
+        synchrony=synchrony,
+    )
+    cluster.collector = collector
+    return cluster
+
+
+class TestGST:
+    def test_progress_resumes_after_gst(self):
+        cluster = cluster_with_gst(gst_ms=500.0)
+        cluster.start()
+        cluster.run(500.0)
+        height_at_gst = cluster.max_committed_height()
+        cluster.run(1500.0)
+        cluster.assert_safety()
+        assert cluster.min_committed_height() > height_at_gst + 10
+
+    def test_safety_holds_even_before_gst(self):
+        cluster = cluster_with_gst(gst_ms=2000.0)
+        cluster.start()
+        cluster.run(1500.0)
+        cluster.assert_safety()  # whatever committed is consistent
+
+    def test_pre_gst_asynchrony_slows_but_does_not_fork(self):
+        chaotic = cluster_with_gst(gst_ms=1000.0, pre_gst_extra=300.0)
+        chaotic.start()
+        chaotic.run(1000.0)
+        pre_gst_height = chaotic.max_committed_height()
+        calm = cluster_with_gst(gst_ms=0.0)
+        calm.start()
+        calm.run(1000.0)
+        chaotic.assert_safety()
+        assert calm.max_committed_height() > pre_gst_height
+
+    def test_gst_zero_behaves_synchronously(self):
+        cluster = cluster_with_gst(gst_ms=0.0)
+        cluster.start()
+        cluster.run(300.0)
+        cluster.assert_safety()
+        assert all(n.pacemaker.timeouts_fired == 0 for n in cluster.nodes)
+        assert cluster.min_committed_height() >= 10

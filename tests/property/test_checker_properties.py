@@ -1,0 +1,183 @@
+"""Property-based tests for the CHECKER: the no-equivocation invariant
+(Lemma 1) must survive *any* interleaving of operations the host can throw
+at the enclave, including reboots and recoveries.
+
+The state machine respects the paper's threat model: private keys live
+only inside trusted components, so every certificate fed to the subject
+checker is produced by a real checker/accumulator ECALL — the adversary
+controls scheduling, replay, and reboots, but cannot forge.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.chain.block import create_leaf, genesis_block
+from repro.core.accumulator import AchillesAccumulator
+from repro.core.checker import AchillesChecker
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.errors import EnclaveAbort
+
+N, F = 5, 2
+
+
+class CheckerMachine(RuleBasedStateMachine):
+    """Drive checker 0 adversarially; checkers 1–4 are honest peers."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        pairs = generate_keypairs(range(N), seed=77)
+        ring = Keyring.from_keypairs(pairs)
+        self.ring = ring
+        self.checkers = {
+            i: AchillesChecker(node_id=i, n=N, f=F,
+                               private_key=pairs[i].private, keyring=ring)
+            for i in range(N)
+        }
+        self.accums = {
+            i: AchillesAccumulator(node_id=i, f=F,
+                                   private_key=pairs[i].private, keyring=ring)
+            for i in range(N)
+        }
+        self.subject = self.checkers[0]
+        # Legitimately-issued certificates the adversary may replay at will.
+        self.view_certs: dict[int, dict[int, object]] = {}   # view -> node -> cert
+        self.block_certs_pool: list = []
+        # Observed outputs of the subject (the equivocation ledger).
+        self.subject_block_certs: dict[int, set[str]] = {}
+        self.subject_store_certs: dict[int, set[str]] = {}
+        self.blocks: dict[str, object] = {genesis_block().hash: genesis_block()}
+        self._op = 0
+
+    # -- legitimate certificate production ------------------------------
+    def _advance_checker(self, node: int) -> None:
+        try:
+            cert = self.checkers[node].tee_view()
+        except EnclaveAbort:
+            return
+        self.view_certs.setdefault(cert.current_view, {})[node] = cert
+
+    def _make_block(self, parent_hash: str, view: int, proposer: int):
+        parent = self.blocks[parent_hash]
+        self._op += 1
+        block = create_leaf((), f"op{self._op}", parent, view=view,
+                            proposer=proposer)
+        self.blocks[block.hash] = block
+        return block
+
+    def _leader_propose(self, leader: int):
+        """Have ``leader``'s real checker produce a block certificate for
+        its current view, if f+1 view certificates exist for it."""
+        checker = self.checkers[leader]
+        if checker.recovering:
+            return None
+        vi = checker.state.vi
+        if vi % N != leader:
+            return None
+        bucket = self.view_certs.get(vi, {})
+        if len(bucket) < F + 1:
+            return None
+        certs = list(bucket.values())[: F + 1]
+        best = max(certs, key=lambda c: c.block_view)
+        if best.block_hash not in self.blocks:
+            return None
+        try:
+            acc = self.accums[leader].tee_accum(best, certs)
+        except EnclaveAbort:
+            return None
+        block = self._make_block(acc.block_hash, vi, leader)
+        try:
+            cert = checker.tee_prepare(block, acc)
+        except EnclaveAbort:
+            return None
+        self.block_certs_pool.append(cert)
+        if leader == 0:
+            self.subject_block_certs.setdefault(cert.view, set()).add(
+                cert.block_hash)
+        return cert
+
+    # -- rules -----------------------------------------------------------
+    @rule(node=st.integers(min_value=0, max_value=N - 1))
+    def advance_a_view(self, node: int) -> None:
+        self._advance_checker(node)
+
+    @rule(leader=st.integers(min_value=0, max_value=N - 1))
+    def someone_proposes(self, leader: int) -> None:
+        self._leader_propose(leader)
+
+    @rule(index=st.integers(min_value=0, max_value=200))
+    def subject_stores_replayed_cert(self, index: int) -> None:
+        """Replay any previously issued block certificate at the subject."""
+        if not self.block_certs_pool or self.subject.recovering:
+            return
+        cert = self.block_certs_pool[index % len(self.block_certs_pool)]
+        try:
+            store = self.subject.tee_store(cert)
+        except EnclaveAbort:
+            return
+        self.subject_store_certs.setdefault(store.view, set()).add(
+            store.block_hash)
+
+    @rule()
+    def subject_reboots_and_recovers(self) -> None:
+        self.subject.reboot()
+        self.subject.restart(N - 1)
+        try:
+            request = self.subject.tee_request()
+        except EnclaveAbort:
+            return
+        replies = []
+        for i in (1, 2, 3, 4):
+            try:
+                replies.append(self.checkers[i].tee_reply(request))
+            except EnclaveAbort:
+                pass
+        if len(replies) < F + 1:
+            return
+        highest = max(r.vi for r in replies)
+        leader_reply = next(
+            (r for r in replies
+             if r.signer == highest % N and r.vi == highest),
+            None,
+        )
+        if leader_reply is None:
+            return  # rule unsatisfied: checker stays gated (liveness only)
+        try:
+            self.subject.tee_recover(leader_reply, replies)
+        except EnclaveAbort:
+            pass
+
+    @rule()
+    def subject_advances(self) -> None:
+        if not self.subject.recovering:
+            self._advance_checker(0)
+
+    # -- invariants --------------------------------------------------------
+    @invariant()
+    def no_block_cert_equivocation(self) -> None:
+        for view, hashes in self.subject_block_certs.items():
+            assert len(hashes) <= 1, \
+                f"block-certificate equivocation in view {view}: {hashes}"
+
+    @invariant()
+    def no_store_cert_equivocation(self) -> None:
+        for view, hashes in self.subject_store_certs.items():
+            assert len(hashes) <= 1, \
+                f"store-certificate equivocation in view {view}: {hashes}"
+
+    @invariant()
+    def gated_while_recovering(self) -> None:
+        if self.subject.recovering:
+            try:
+                self.subject.tee_view()
+                raised = False
+            except EnclaveAbort:
+                raised = True
+            assert raised, "recovering checker must refuse protocol ECALLs"
+
+
+CheckerMachineTest = CheckerMachine.TestCase
+CheckerMachineTest.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None,
+)

@@ -1,0 +1,109 @@
+"""Merkle tree: unit behaviour + hypothesis properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.merkle import (
+    EMPTY_ROOT,
+    MerkleProof,
+    MerkleTree,
+    batch_root,
+    verify_inclusion,
+)
+from repro.chain.transaction import Transaction
+from repro.errors import ValidationError
+
+
+def txs_of(n: int, tag: str = "t") -> list[Transaction]:
+    return [Transaction(client_id=0, tx_id=i, payload=f"{tag}{i}")
+            for i in range(n)]
+
+
+class TestMerkleBasics:
+    def test_empty_batch_root_is_constant(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+        assert batch_root([]) == EMPTY_ROOT
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree(txs_of(1))
+        assert tree.root == tree.leaves[0]
+        proof = tree.prove(0)
+        assert proof.path == ()
+        assert verify_inclusion(tree.root, txs_of(1)[0], proof)
+
+    def test_proof_verifies_for_every_leaf(self):
+        txs = txs_of(7)  # odd sizes exercise promotion
+        tree = MerkleTree(txs)
+        for i, tx in enumerate(txs):
+            assert verify_inclusion(tree.root, tx, tree.prove(i))
+
+    def test_wrong_tx_fails(self):
+        txs = txs_of(4)
+        tree = MerkleTree(txs)
+        proof = tree.prove(2)
+        impostor = Transaction(client_id=0, tx_id=2, payload="evil")
+        assert not verify_inclusion(tree.root, impostor, proof)
+
+    def test_wrong_position_fails(self):
+        txs = txs_of(4)
+        tree = MerkleTree(txs)
+        assert not verify_inclusion(tree.root, txs[1], tree.prove(2))
+
+    def test_out_of_range_proof_rejected(self):
+        with pytest.raises(ValidationError):
+            MerkleTree(txs_of(3)).prove(3)
+
+    def test_proof_size_logarithmic(self):
+        tree = MerkleTree(txs_of(1024))
+        assert len(tree.prove(0).path) == 10
+
+
+class TestMerkleProperties:
+    tx_lists = st.lists(
+        st.builds(Transaction,
+                  client_id=st.integers(0, 3),
+                  tx_id=st.integers(0, 10_000),
+                  payload=st.text(max_size=12)),
+        min_size=1, max_size=40, unique_by=lambda t: t.key,
+    )
+
+    @given(tx_lists, st.data())
+    @settings(max_examples=60)
+    def test_every_member_has_a_verifying_proof(self, txs, data):
+        tree = MerkleTree(txs)
+        index = data.draw(st.integers(0, len(txs) - 1))
+        assert verify_inclusion(tree.root, txs[index], tree.prove(index))
+
+    @given(tx_lists)
+    @settings(max_examples=60)
+    def test_root_deterministic_and_order_sensitive(self, txs):
+        assert batch_root(txs) == batch_root(list(txs))
+        rotated = txs[1:] + txs[:1]
+        if rotated != txs:
+            assert batch_root(rotated) != batch_root(txs)
+
+    @given(tx_lists, tx_lists)
+    @settings(max_examples=60)
+    def test_distinct_batches_distinct_roots(self, a, b):
+        if [t.key for t in a] != [t.key for t in b] or \
+                [t.payload for t in a] != [t.payload for t in b]:
+            assert batch_root(a) != batch_root(b)
+
+    @given(tx_lists, st.data())
+    @settings(max_examples=60)
+    def test_tampered_proofs_fail(self, txs, data):
+        tree = MerkleTree(txs)
+        index = data.draw(st.integers(0, len(txs) - 1))
+        proof = tree.prove(index)
+        if not proof.path:
+            return
+        # Flip one sibling digest: verification must fail.
+        position = data.draw(st.integers(0, len(proof.path) - 1))
+        sibling, is_left = proof.path[position]
+        tampered_path = list(proof.path)
+        tampered_path[position] = (sibling[::-1], is_left)
+        tampered = MerkleProof(leaf_index=proof.leaf_index,
+                               path=tuple(tampered_path))
+        assert not verify_inclusion(tree.root, txs[index], tampered)

@@ -1,0 +1,115 @@
+"""Unit tests for the ACCUMULATOR trusted component."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accumulator import AchillesAccumulator
+from repro.core.certificates import ViewCertificate
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.crypto.signatures import sign
+from repro.errors import EnclaveAbort
+
+N, F = 5, 2
+
+
+@pytest.fixture
+def world():
+    pairs = generate_keypairs(range(N), seed=5)
+    ring = Keyring.from_keypairs(pairs)
+    accum = AchillesAccumulator(node_id=1, f=F, private_key=pairs[1].private,
+                                keyring=ring)
+    return pairs, ring, accum
+
+
+def view_cert(pairs, signer: int, block_hash: str, block_view: int,
+              current_view: int) -> ViewCertificate:
+    return ViewCertificate(
+        block_hash=block_hash, block_view=block_view, current_view=current_view,
+        signature=sign(pairs[signer].private, "NEW-VIEW", block_hash,
+                       block_view, current_view),
+    )
+
+
+class TestTEEaccum:
+    def test_accumulates_highest(self, world):
+        pairs, ring, accum = world
+        certs = [
+            view_cert(pairs, 0, "h0", 1, 5),
+            view_cert(pairs, 2, "h2", 3, 5),
+            view_cert(pairs, 3, "h3", 2, 5),
+        ]
+        best = certs[1]
+        acc = accum.tee_accum(best, certs)
+        assert acc.block_hash == "h2"
+        assert acc.block_view == 3
+        assert acc.target_view == 5
+        assert set(acc.ids) == {0, 2, 3}
+        assert acc.validate(ring, F + 1)
+
+    def test_best_not_highest_aborts(self, world):
+        pairs, _, accum = world
+        certs = [
+            view_cert(pairs, 0, "h0", 1, 5),
+            view_cert(pairs, 2, "h2", 3, 5),
+            view_cert(pairs, 3, "h3", 2, 5),
+        ]
+        with pytest.raises(EnclaveAbort, match="not the highest"):
+            accum.tee_accum(certs[0], certs)
+
+    def test_mixed_target_views_abort(self, world):
+        pairs, _, accum = world
+        certs = [
+            view_cert(pairs, 0, "h0", 1, 5),
+            view_cert(pairs, 2, "h2", 3, 6),
+            view_cert(pairs, 3, "h3", 2, 5),
+        ]
+        with pytest.raises(EnclaveAbort, match="different views"):
+            accum.tee_accum(certs[1], certs)
+
+    def test_too_few_distinct_signers_abort(self, world):
+        pairs, _, accum = world
+        certs = [
+            view_cert(pairs, 0, "h0", 1, 5),
+            view_cert(pairs, 0, "h0", 1, 5),
+        ]
+        with pytest.raises(EnclaveAbort, match="f\\+1"):
+            accum.tee_accum(certs[0], certs)
+
+    def test_invalid_signatures_do_not_count(self, world):
+        pairs, _, accum = world
+        good = [view_cert(pairs, 0, "h0", 1, 5), view_cert(pairs, 2, "h2", 2, 5)]
+        forged = ViewCertificate(
+            block_hash="evil", block_view=9, current_view=5,
+            signature=sign(pairs[3].private, "NEW-VIEW", "other", 9, 5),
+        )
+        with pytest.raises(EnclaveAbort):
+            accum.tee_accum(forged, good + [forged])
+
+    def test_empty_input_aborts(self, world):
+        pairs, _, accum = world
+        with pytest.raises(EnclaveAbort, match="no view certificates"):
+            accum.tee_accum(view_cert(pairs, 0, "h", 0, 1), [])
+
+    def test_best_outside_set_aborts(self, world):
+        pairs, _, accum = world
+        certs = [
+            view_cert(pairs, 0, "h0", 1, 5),
+            view_cert(pairs, 2, "h2", 2, 5),
+            view_cert(pairs, 3, "h3", 2, 5),
+        ]
+        outsider = view_cert(pairs, 4, "h4", 9, 5)
+        with pytest.raises(EnclaveAbort):
+            accum.tee_accum(outsider, certs)
+
+    def test_accumulator_is_stateless_across_calls(self, world):
+        pairs, _, accum = world
+        certs_v5 = [view_cert(pairs, i, f"h{i}", i, 5) for i in (0, 2, 3)]
+        certs_v9 = [view_cert(pairs, i, f"g{i}", i, 9) for i in (0, 2, 3)]
+        acc5 = accum.tee_accum(certs_v5[-1], certs_v5)
+        acc9 = accum.tee_accum(certs_v9[-1], certs_v9)
+        assert acc5.target_view == 5
+        assert acc9.target_view == 9
+        # and order does not matter — no hidden monotonicity state
+        acc5_again = accum.tee_accum(certs_v5[-1], certs_v5)
+        assert acc5_again.block_hash == acc5.block_hash

@@ -1,0 +1,254 @@
+"""Unit tests for baseline trusted components: Damysus checker, OneShot
+checker, FlexiBFT proposer, and the rollback-prevention mixin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common import CMT, PREP, PhaseQC, PhaseVote
+from repro.baselines.damysus.checker import DamysusChecker
+from repro.baselines.flexibft import FlexiProposer
+from repro.baselines.oneshot import OneShotChecker
+from repro.chain.block import create_leaf, genesis_block
+from repro.core.accumulator import AchillesAccumulator
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.crypto.signatures import SignatureList, sign
+from repro.errors import EnclaveAbort
+from repro.tee.counters import ConfigurableCounter
+
+N, F = 5, 2
+
+
+@pytest.fixture
+def world():
+    pairs = generate_keypairs(range(N), seed=21)
+    ring = Keyring.from_keypairs(pairs)
+    return pairs, ring
+
+
+def damysus_checkers(pairs, ring, counter_factory=None):
+    return {
+        i: DamysusChecker(
+            node_id=i, n=N, f=F, private_key=pairs[i].private, keyring=ring,
+            counter=counter_factory() if counter_factory else None,
+        )
+        for i in range(N)
+    }
+
+
+def accumulate_for(pairs, ring, leader, checkers):
+    certs = [checkers[i].tee_new_view() for i in range(N)]
+    accum = AchillesAccumulator(node_id=leader, f=F,
+                                private_key=pairs[leader].private, keyring=ring)
+    best = max(certs[: F + 1], key=lambda c: c.block_view)
+    return accum.tee_accum(best, certs[: F + 1])
+
+
+def phase_qc(pairs, phase, block_hash, view, signers):
+    sigs = SignatureList.of(
+        sign(pairs[i].private, phase, block_hash, view) for i in signers
+    )
+    return PhaseQC(phase=phase, block_hash=block_hash, view=view, signatures=sigs)
+
+
+class TestDamysusChecker:
+    def test_two_phase_flow(self, world):
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring)
+        leader = 1
+        acc = accumulate_for(pairs, ring, leader, checkers)
+        block = create_leaf((), "op", genesis_block(), view=1, proposer=leader)
+        block_cert, own_vote = checkers[leader].tee_prepare(block, acc)
+        assert own_vote.phase == PREP
+
+        vote2 = checkers[2].tee_vote_prepare(block_cert)
+        assert vote2.validate(ring)
+
+        qc = phase_qc(pairs, PREP, block.hash, 1, [1, 2, 3])
+        commit_vote, new_view = checkers[2].tee_record_prepared(qc)
+        assert commit_vote.phase == CMT
+        assert new_view.current_view == 2
+        st = checkers[2].state
+        assert (st.prepv, st.preph) == (1, block.hash)
+        assert st.vi == 2  # entered the next view
+
+    def test_double_prepare_vote_aborts(self, world):
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring)
+        leader = 1
+        acc = accumulate_for(pairs, ring, leader, checkers)
+        block = create_leaf((), "op", genesis_block(), view=1, proposer=leader)
+        block_cert, _ = checkers[leader].tee_prepare(block, acc)
+        checkers[2].tee_vote_prepare(block_cert)
+        with pytest.raises(EnclaveAbort, match="already prepare-voted"):
+            checkers[2].tee_vote_prepare(block_cert)
+
+    def test_double_record_aborts(self, world):
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring)
+        leader = 1
+        accumulate_for(pairs, ring, leader, checkers)
+        qc = phase_qc(pairs, PREP, "h", 1, [0, 1, 2])
+        checkers[2].tee_record_prepared(qc)
+        with pytest.raises(EnclaveAbort, match="stale"):
+            checkers[2].tee_record_prepared(qc)
+
+    def test_counter_writes_on_every_state_update(self, world):
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring,
+                                    counter_factory=lambda: ConfigurableCounter(20.0))
+        leader = 1
+        acc = accumulate_for(pairs, ring, leader, checkers)
+        # tee_new_view above already cost one write each
+        assert checkers[2].counter_writes == 1
+        block = create_leaf((), "op", genesis_block(), view=1, proposer=leader)
+        block_cert, _ = checkers[leader].tee_prepare(block, acc)
+        assert checkers[leader].counter_writes == 2
+        checkers[2].tee_vote_prepare(block_cert)
+        assert checkers[2].counter_writes == 2
+        # ...and the latency was charged to the pending enclave cost
+        assert checkers[2].drain_cost() >= 20.0
+
+    def test_restore_without_counter_accepts_stale_state(self, world):
+        """Plain Damysus: the rollback vulnerability."""
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring)
+        c = checkers[2]
+        c.tee_new_view()   # vi=1, sealed v1
+        c.tee_new_view()   # vi=2, sealed v2
+        stale = c.unseal_state("rstate", version_index=0)
+        c.reboot()
+        c.restart(N - 1)
+        assert c.tee_restore(stale)
+        assert c.state.vi == 1  # rolled back and the checker cannot tell
+
+    def test_restore_with_counter_detects_rollback(self, world):
+        """Damysus-R: the counter catches the stale snapshot."""
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring,
+                                    counter_factory=lambda: ConfigurableCounter(20.0))
+        c = checkers[2]
+        c.tee_new_view()
+        c.tee_new_view()
+        stale = c.unseal_state("rstate", version_index=0)
+        c.reboot()
+        c.restart(N - 1)
+        with pytest.raises(EnclaveAbort, match="rollback detected"):
+            c.tee_restore(stale)
+        # the fresh snapshot is accepted
+        fresh = c.unseal_state("rstate")
+        assert c.tee_restore(fresh)
+        assert c.state.vi == 2
+
+    def test_ecalls_gate_until_restored(self, world):
+        pairs, ring = world
+        checkers = damysus_checkers(pairs, ring)
+        c = checkers[2]
+        c.tee_new_view()
+        c.reboot()
+        c.restart(N - 1)
+        with pytest.raises(EnclaveAbort, match="not restored"):
+            c.tee_new_view()
+
+
+class TestOneShotChecker:
+    def _checker(self, pairs, ring, i=1, counter=None):
+        return OneShotChecker(
+            node_id=i, n=N, f=F, private_key=pairs[i].private, keyring=ring,
+            counter=counter,
+        )
+
+    def test_fast_path_single_ecall_counter_write(self, world):
+        pairs, ring = world
+        checkers = {i: self._checker(pairs, ring, i,
+                                     counter=ConfigurableCounter(20.0))
+                    for i in range(N)}
+        # Build a committed block for view 1 so leader 2 can fast-propose v2.
+        block1 = create_leaf((), "op", genesis_block(), view=1, proposer=1)
+        qc = PhaseQC  # unused; build a real CommitmentCertificate below
+        from repro.core.certificates import CommitmentCertificate
+
+        sigs = SignatureList.of(
+            sign(pairs[i].private, "COMMIT", block1.hash, 1) for i in range(3)
+        )
+        commit_qc = CommitmentCertificate(block_hash=block1.hash, view=1,
+                                          signatures=sigs)
+        block2 = create_leaf((), "op", block1, view=2, proposer=2)
+        block_cert, store_cert = checkers[2].tee_prepare_fast(block2, commit_qc)
+        assert block_cert.view == 2
+        assert store_cert.view == 2
+        assert checkers[2].counter_writes == 1  # ONE write for the leader
+
+        vote = checkers[3].tee_store_fast(block_cert)
+        assert vote.validate(ring)
+        assert checkers[3].counter_writes == 1  # ONE write for the backup
+
+    def test_slow_path_two_counter_writes(self, world):
+        pairs, ring = world
+        counter = ConfigurableCounter(20.0)
+        backup = self._checker(pairs, ring, i=3, counter=counter)
+        leader = self._checker(pairs, ring, i=1, counter=ConfigurableCounter(20.0))
+        accum = AchillesAccumulator(node_id=1, f=F, private_key=pairs[1].private,
+                                    keyring=ring)
+        certs = [c.tee_view_os() for c in
+                 (leader, backup, self._checker(pairs, ring, i=0))]
+        backup._pre_voted_view = -1
+        acc = accum.tee_accum(max(certs, key=lambda c: c.block_view), certs)
+        block = create_leaf((), "op", genesis_block(), view=1, proposer=1)
+        block_cert, own_pre = leader.tee_prepare_slow(block, acc)
+        assert own_pre.phase == PREP
+
+        pre_vote = backup.tee_pre_vote(block_cert)
+        assert backup.counter_writes == 2  # tee_view + pre_vote
+        pre_qc = phase_qc(pairs, PREP, block.hash, 1, [1, 3, 0])
+        store = backup.tee_store_slow(block_cert, pre_qc)
+        assert store.validate(ring)
+        assert backup.counter_writes == 3  # second write for the store round
+
+    def test_slow_store_requires_pre_qc(self, world):
+        pairs, ring = world
+        backup = self._checker(pairs, ring, i=3)
+        leader = self._checker(pairs, ring, i=1)
+        accum = AchillesAccumulator(node_id=1, f=F, private_key=pairs[1].private,
+                                    keyring=ring)
+        certs = [c.tee_view() for c in
+                 (leader, backup, self._checker(pairs, ring, i=0))]
+        acc = accum.tee_accum(max(certs, key=lambda c: c.block_view), certs)
+        block = create_leaf((), "op", genesis_block(), view=1, proposer=1)
+        block_cert, _ = leader.tee_prepare_slow(block, acc)
+        bad_qc = phase_qc(pairs, PREP, "other", 1, [0, 1, 3])
+        with pytest.raises(EnclaveAbort):
+            backup.tee_store_slow(block_cert, bad_qc)
+
+    def test_restore_with_counter_detects_rollback(self, world):
+        pairs, ring = world
+        c = self._checker(pairs, ring, i=2, counter=ConfigurableCounter(20.0))
+        c.tee_view_os()
+        c.tee_view_os()
+        stale = c.unseal_state("rstate", version_index=0)
+        c.reboot()
+        c.restart(N - 1)
+        with pytest.raises(EnclaveAbort, match="rollback detected"):
+            c.tee_restore(stale)
+
+
+class TestFlexiProposer:
+    def test_one_proposal_per_height(self, world):
+        pairs, ring = world
+        proposer = FlexiProposer(node_id=0, n=N, private_key=pairs[0].private,
+                                 keyring=ring, counter=ConfigurableCounter(20.0))
+        b1 = create_leaf((), "op", genesis_block(), view=0, proposer=0)
+        cert = proposer.tee_propose(b1)
+        assert cert.validate(ring)
+        assert proposer.counter_writes == 1
+        evil = create_leaf((), "evil", genesis_block(), view=0, proposer=0)
+        with pytest.raises(EnclaveAbort, match="already proposed"):
+            proposer.tee_propose(evil)
+
+    def test_no_counter_means_free(self, world):
+        pairs, ring = world
+        proposer = FlexiProposer(node_id=0, n=N, private_key=pairs[0].private,
+                                 keyring=ring, counter=None)
+        b1 = create_leaf((), "op", genesis_block(), view=0, proposer=0)
+        proposer.tee_propose(b1)
+        assert proposer.counter_writes == 0

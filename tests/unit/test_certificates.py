@@ -1,0 +1,125 @@
+"""Unit tests for Achilles certificate types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.certificates import (
+    AccumulatorCertificate,
+    BlockCertificate,
+    CommitmentCertificate,
+    RecoveryReply,
+    RecoveryRequest,
+    StoreCertificate,
+    ViewCertificate,
+)
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.crypto.signatures import SignatureList, sign
+
+
+@pytest.fixture
+def world():
+    pairs = generate_keypairs(range(5), seed=2)
+    return pairs, Keyring.from_keypairs(pairs)
+
+
+class TestStatementSeparation:
+    """A signature for one certificate type must never validate another."""
+
+    def test_prop_vs_commit(self, world):
+        pairs, ring = world
+        prop_sig = sign(pairs[0].private, "PROP", "h", 1)
+        as_store = StoreCertificate(block_hash="h", view=1, signature=prop_sig)
+        assert not as_store.validate(ring)
+        as_block = BlockCertificate(block_hash="h", view=1, signature=prop_sig)
+        assert as_block.validate(ring)
+
+    def test_newview_vs_rpy(self, world):
+        pairs, ring = world
+        nv_sig = sign(pairs[0].private, "NEW-VIEW", "h", 1, 2)
+        reply = RecoveryReply(preh="h", prepv=1, vi=2, requester=0, nonce="n",
+                              signature=nv_sig)
+        assert not reply.validate(ring)
+
+
+class TestCommitmentCertificate:
+    def test_threshold_enforced(self, world):
+        pairs, ring = world
+        sigs = SignatureList.of(
+            sign(pairs[i].private, "COMMIT", "h", 3) for i in range(3)
+        )
+        qc = CommitmentCertificate(block_hash="h", view=3, signatures=sigs)
+        assert qc.validate(ring, threshold=3)
+        assert not qc.validate(ring, threshold=4)
+        assert qc.signers() == {0, 1, 2}
+
+    def test_duplicate_signers_counted_once(self, world):
+        pairs, ring = world
+        sigs = SignatureList.of(
+            [sign(pairs[0].private, "COMMIT", "h", 3)] * 3
+        )
+        qc = CommitmentCertificate(block_hash="h", view=3, signatures=sigs)
+        assert not qc.validate(ring, threshold=2)
+
+    def test_wire_size_grows_with_sigs(self, world):
+        pairs, _ = world
+        one = CommitmentCertificate(
+            "h", 1, SignatureList.of([sign(pairs[0].private, "COMMIT", "h", 1)]))
+        three = CommitmentCertificate(
+            "h", 1, SignatureList.of(
+                sign(pairs[i].private, "COMMIT", "h", 1) for i in range(3)))
+        assert three.wire_size() > one.wire_size()
+
+
+class TestAccumulatorCertificate:
+    def test_quorum_ids_checked(self, world):
+        pairs, ring = world
+        sig = sign(pairs[1].private, "ACC", "h", 2, 5, (0, 2, 3))
+        acc = AccumulatorCertificate(block_hash="h", block_view=2, target_view=5,
+                                     ids=(0, 2, 3), signature=sig)
+        assert acc.validate(ring, quorum=3)
+        small = AccumulatorCertificate(block_hash="h", block_view=2, target_view=5,
+                                       ids=(0, 0, 0),
+                                       signature=sign(pairs[1].private, "ACC",
+                                                      "h", 2, 5, (0, 0, 0)))
+        assert not small.validate(ring, quorum=2)
+
+    def test_tampered_ids_fail(self, world):
+        pairs, ring = world
+        sig = sign(pairs[1].private, "ACC", "h", 2, 5, (0, 2, 3))
+        tampered = AccumulatorCertificate(block_hash="h", block_view=2,
+                                          target_view=5, ids=(0, 2, 4),
+                                          signature=sig)
+        assert not tampered.validate(ring, quorum=3)
+
+
+class TestRecoveryCertificates:
+    def test_request_requires_matching_identity(self, world):
+        pairs, ring = world
+        sig = sign(pairs[2].private, "REQ", "nonce", 2)
+        ok = RecoveryRequest(nonce="nonce", requester=2, signature=sig)
+        assert ok.validate(ring)
+        impostor = RecoveryRequest(nonce="nonce", requester=3, signature=sig)
+        assert not impostor.validate(ring)
+
+    def test_reply_signature_covers_all_fields(self, world):
+        pairs, ring = world
+        sig = sign(pairs[1].private, "RPY", "h", 2, 7, 0, "n")
+        reply = RecoveryReply(preh="h", prepv=2, vi=7, requester=0, nonce="n",
+                              signature=sig)
+        assert reply.validate(ring)
+        from dataclasses import replace
+
+        assert not replace(reply, vi=8).validate(ring)
+        assert not replace(reply, nonce="other").validate(ring)
+
+    def test_view_certificate_binds_current_view(self, world):
+        pairs, ring = world
+        sig = sign(pairs[0].private, "NEW-VIEW", "h", 1, 4)
+        cert = ViewCertificate(block_hash="h", block_view=1, current_view=4,
+                               signature=sig)
+        assert cert.validate(ring)
+        from dataclasses import replace
+
+        # Replaying with a bumped current view must fail.
+        assert not replace(cert, current_view=5).validate(ring)

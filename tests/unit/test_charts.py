@@ -1,0 +1,83 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.charts import MARKS, ascii_xy_chart, series_from_results
+
+
+class TestAsciiChart:
+    def test_renders_title_axes_and_legend(self):
+        chart = ascii_xy_chart(
+            {"achilles": [(1, 100), (10, 80)], "damysus-r": [(1, 5), (10, 4)]},
+            title="Fig 3c", x_label="f", y_label="KTPS",
+        )
+        assert chart.startswith("Fig 3c")
+        assert "o achilles" in chart
+        assert "* damysus-r" in chart
+        assert "(f)" in chart
+        assert "KTPS" in chart
+
+    def test_marks_land_in_the_right_corners(self):
+        chart = ascii_xy_chart({"s": [(0, 0), (10, 10)]}, width=11, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        body = [line[line.index("|") + 1:line.rindex("|")] for line in rows]
+        assert body[0][-1] == "o"   # max x, max y → top right
+        assert body[-1][0] == "o"   # min x, min y → bottom left
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_xy_chart({"s": [(1, 5), (2, 5), (3, 5)]})
+        assert "o s" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_xy_chart({}, title="empty")
+
+    def test_log_scale_spreads_magnitudes(self):
+        series = {"s": [(1, 1), (2, 10), (3, 100), (4, 1000)]}
+        chart = ascii_xy_chart(series, height=7, log_y=True)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        body = [line[line.index("|") + 1:line.rindex("|")] for line in rows]
+        marked_rows = [i for i, row in enumerate(body) if "o" in row]
+        # log scale: the four decades land on evenly spaced rows
+        gaps = {b - a for a, b in zip(marked_rows, marked_rows[1:])}
+        assert len(gaps) == 1
+
+    def test_more_series_than_marks_cycles(self):
+        series = {f"s{i}": [(0, i)] for i in range(len(MARKS) + 2)}
+        chart = ascii_xy_chart(series)
+        assert f"{MARKS[0]} s0" in chart
+        assert f"{MARKS[0]} s{len(MARKS)}" in chart  # cycled
+
+
+class TestSeriesFromResults:
+    def test_groups_and_sorts(self):
+        from repro.harness.runner import ExperimentResult
+
+        def result(protocol, f, tput):
+            return ExperimentResult(
+                protocol=protocol, f=f, n=2 * f + 1, network="LAN",
+                batch_size=1, payload_size=1, counter_write_ms=0,
+                throughput_ktps=tput, commit_latency_ms=1,
+                commit_latency_p99_ms=1, e2e_latency_ms=1, txs_committed=1,
+                blocks_committed=1, messages_sent=1, bytes_sent=1,
+                sim_events=1,
+            )
+
+        results = [result("a", 4, 10), result("a", 1, 30), result("b", 1, 5)]
+        series = series_from_results(results, "f", "throughput_ktps")
+        assert series == {"a": [(1.0, 30.0), (4.0, 10.0)], "b": [(1.0, 5.0)]}
+
+    def test_callable_keys(self):
+        from repro.harness.runner import ExperimentResult
+
+        r = ExperimentResult(
+            protocol="a", f=1, n=3, network="LAN", batch_size=1,
+            payload_size=1, counter_write_ms=0, throughput_ktps=2.0,
+            commit_latency_ms=1, commit_latency_p99_ms=1, e2e_latency_ms=1,
+            txs_committed=1, blocks_committed=1, messages_sent=1,
+            bytes_sent=1, sim_events=1, extras={"rate": 7},
+        )
+        series = series_from_results([r], lambda x: x.extras["rate"],
+                                     "throughput_ktps")
+        assert series == {"a": [(7.0, 2.0)]}

@@ -1,0 +1,286 @@
+"""Unit tests for the Achilles CHECKER (Algorithm 2 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import create_leaf, genesis_block
+from repro.core.accumulator import AchillesAccumulator
+from repro.core.certificates import CommitmentCertificate
+from repro.core.checker import AchillesChecker
+from repro.crypto.hashing import GENESIS_HASH
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.crypto.signatures import SignatureList, sign
+from repro.errors import EnclaveAbort
+
+N, F = 5, 2
+
+
+@pytest.fixture
+def world():
+    pairs = generate_keypairs(range(N), seed=9)
+    ring = Keyring.from_keypairs(pairs)
+    checkers = {
+        i: AchillesChecker(node_id=i, n=N, f=F, private_key=pairs[i].private,
+                           keyring=ring)
+        for i in range(N)
+    }
+    accums = {
+        i: AchillesAccumulator(node_id=i, f=F, private_key=pairs[i].private,
+                               keyring=ring)
+        for i in range(N)
+    }
+    return pairs, ring, checkers, accums
+
+
+def enter_view_1(checkers):
+    """All checkers run TEEview once (bootstrap), returning the certs."""
+    return {i: c.tee_view() for i, c in checkers.items()}
+
+
+def accumulate(accums, leader: int, certs):
+    cert_list = list(certs.values())[: F + 1]
+    best = max(cert_list, key=lambda c: c.block_view)
+    return accums[leader].tee_accum(best, cert_list)
+
+
+def make_block(parent, view, proposer):
+    return create_leaf((), "op", parent, view=view, proposer=proposer)
+
+
+def make_qc(pairs, block_hash, view, signers):
+    sigs = SignatureList.of(
+        sign(pairs[i].private, "COMMIT", block_hash, view) for i in signers
+    )
+    return CommitmentCertificate(block_hash=block_hash, view=view, signatures=sigs)
+
+
+class TestTEEview:
+    def test_increments_view_and_reports_stored_block(self, world):
+        _, _, checkers, _ = world
+        cert = checkers[0].tee_view()
+        assert cert.current_view == 1
+        assert cert.block_hash == GENESIS_HASH
+        assert cert.block_view == 0
+        assert checkers[0].state.vi == 1
+
+    def test_resets_flags(self, world):
+        _, _, checkers, _ = world
+        checkers[0].state.proposed = True
+        checkers[0].state.voted = True
+        checkers[0].tee_view()
+        assert not checkers[0].state.proposed
+        assert not checkers[0].state.voted
+
+
+class TestTEEprepareAccPath:
+    def test_leader_proposes_once(self, world):
+        pairs, ring, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1  # leader_of(1) == 1
+        acc = accumulate(accums, leader, certs)
+        block = make_block(genesis_block(), view=1, proposer=leader)
+        block_cert = checkers[leader].tee_prepare(block, acc)
+        assert block_cert.view == 1
+        assert block_cert.block_hash == block.hash
+        assert block_cert.validate(ring)
+
+    def test_second_proposal_same_view_aborts(self, world):
+        _, _, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        block = make_block(genesis_block(), view=1, proposer=leader)
+        checkers[leader].tee_prepare(block, acc)
+        other = make_block(genesis_block(), view=1, proposer=leader)
+        with pytest.raises(EnclaveAbort, match="already proposed"):
+            checkers[leader].tee_prepare(other, acc)
+
+    def test_replayed_view_certs_cannot_reenable_proposal(self, world):
+        """The attack a naive single-flag checker admits: propose, vote for
+        own block, then replay the same view certs to propose again."""
+        pairs, ring, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        block = make_block(genesis_block(), view=1, proposer=leader)
+        block_cert = checkers[leader].tee_prepare(block, acc)
+        checkers[leader].tee_store(block_cert)  # leader's own vote
+        evil = make_block(genesis_block(), view=1, proposer=leader)
+        with pytest.raises(EnclaveAbort):
+            checkers[leader].tee_prepare(evil, acc)
+
+    def test_non_leader_cannot_propose(self, world):
+        _, _, checkers, accums = world
+        certs = enter_view_1(checkers)
+        acc = accumulate(accums, 2, certs)  # node 2 builds an acc for view 1
+        block = make_block(genesis_block(), view=1, proposer=2)
+        with pytest.raises(EnclaveAbort, match="not the leader"):
+            checkers[2].tee_prepare(block, acc)
+
+    def test_wrong_parent_aborts(self, world):
+        _, _, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        other_parent = make_block(genesis_block(), view=7, proposer=0)
+        block = make_block(other_parent, view=1, proposer=leader)
+        with pytest.raises(EnclaveAbort, match="does not extend"):
+            checkers[leader].tee_prepare(block, acc)
+
+    def test_foreign_accumulator_rejected(self, world):
+        _, _, checkers, accums = world
+        certs = enter_view_1(checkers)
+        acc = accumulate(accums, 0, certs)  # signed by node 0's accumulator
+        block = make_block(genesis_block(), view=1, proposer=1)
+        with pytest.raises(EnclaveAbort, match="another node"):
+            checkers[1].tee_prepare(block, acc)
+
+    def test_stale_target_view_rejected(self, world):
+        _, _, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        checkers[leader].tee_view()  # leader moved on to view 2
+        block = make_block(genesis_block(), view=1, proposer=leader)
+        with pytest.raises(EnclaveAbort, match="targets view"):
+            checkers[leader].tee_prepare(block, acc)
+
+
+class TestTEEprepareCommitPath:
+    def _committed_block_in_view_1(self, world):
+        pairs, ring, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        block = make_block(genesis_block(), view=1, proposer=leader)
+        block_cert = checkers[leader].tee_prepare(block, acc)
+        for i in range(N):
+            checkers[i].tee_store(block_cert)
+        qc = make_qc(pairs, block.hash, 1, signers=[0, 1, 2])
+        return block, qc
+
+    def test_next_leader_proposes_with_commitment(self, world):
+        pairs, ring, checkers, _ = world
+        block, qc = self._committed_block_in_view_1(world)
+        next_leader = 2  # leader_of(2)
+        child = make_block(block, view=2, proposer=next_leader)
+        cert = checkers[next_leader].tee_prepare(child, qc)
+        assert cert.view == 2
+        assert checkers[next_leader].state.vi == 2
+
+    def test_commitment_must_match_parent(self, world):
+        block, qc = self._committed_block_in_view_1(world)
+        _, _, checkers, _ = world
+        orphan = make_block(genesis_block(), view=2, proposer=2)
+        with pytest.raises(EnclaveAbort, match="does not extend"):
+            checkers[2].tee_prepare(orphan, qc)
+
+    def test_stale_commitment_rejected(self, world):
+        block, qc = self._committed_block_in_view_1(world)
+        _, _, checkers, _ = world
+        checkers[2].state.vi = 10  # checker has moved far ahead
+        child = make_block(block, view=2, proposer=2)
+        with pytest.raises(EnclaveAbort, match="stale"):
+            checkers[2].tee_prepare(child, qc)
+
+    def test_undersized_qc_rejected(self, world):
+        pairs, ring, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        block = make_block(genesis_block(), view=1, proposer=leader)
+        block_cert = checkers[leader].tee_prepare(block, acc)
+        checkers[2].tee_store(block_cert)
+        small_qc = make_qc(pairs, block.hash, 1, signers=[0, 1])  # only f
+        child = make_block(block, view=2, proposer=2)
+        with pytest.raises(EnclaveAbort, match="invalid commitment"):
+            checkers[2].tee_prepare(child, small_qc)
+
+
+class TestTEEstore:
+    def _block_cert(self, world, view=1):
+        pairs, ring, checkers, accums = world
+        certs = enter_view_1(checkers)
+        leader = 1
+        acc = accumulate(accums, leader, certs)
+        block = make_block(genesis_block(), view=view, proposer=leader)
+        return block, checkers[leader].tee_prepare(block, acc)
+
+    def test_store_updates_state_and_signs(self, world):
+        pairs, ring, checkers, _ = world
+        block, cert = self._block_cert(world)
+        store_cert = checkers[2].tee_store(cert)
+        assert store_cert.validate(ring)
+        st = checkers[2].state
+        assert (st.prepv, st.preph) == (1, block.hash)
+        assert st.voted
+
+    def test_double_vote_same_view_aborts(self, world):
+        _, _, checkers, _ = world
+        _, cert = self._block_cert(world)
+        checkers[2].tee_store(cert)
+        with pytest.raises(EnclaveAbort, match="already voted"):
+            checkers[2].tee_store(cert)
+
+    def test_stale_view_aborts(self, world):
+        _, _, checkers, _ = world
+        _, cert = self._block_cert(world)
+        checkers[2].state.vi = 5
+        with pytest.raises(EnclaveAbort, match="stale"):
+            checkers[2].tee_store(cert)
+
+    def test_store_jumps_forward(self, world):
+        _, _, checkers, _ = world
+        _, cert = self._block_cert(world)
+        checkers[2].state.vi = 0  # behind
+        checkers[2].tee_store(cert)
+        assert checkers[2].state.vi == 1
+
+    def test_forged_cert_rejected(self, world):
+        pairs, _, checkers, _ = world
+        block, cert = self._block_cert(world)
+        from dataclasses import replace
+
+        forged = replace(cert, view=2)
+        with pytest.raises(EnclaveAbort, match="invalid block certificate"):
+            checkers[2].tee_store(forged)
+
+    def test_cert_from_non_leader_rejected(self, world):
+        pairs, ring, checkers, _ = world
+        # Node 3 signs a PROP statement for view 1 (whose leader is node 1).
+        from repro.core.certificates import BlockCertificate
+
+        block = make_block(genesis_block(), view=1, proposer=3)
+        rogue = BlockCertificate(
+            block_hash=block.hash, view=1,
+            signature=sign(pairs[3].private, "PROP", block.hash, 1),
+        )
+        checkers[2].tee_view()
+        with pytest.raises(EnclaveAbort, match="not from the leader"):
+            checkers[2].tee_store(rogue)
+
+
+class TestRebootGate:
+    def test_all_protocol_ecalls_gate_until_recovered(self, world):
+        _, _, checkers, _ = world
+        c = checkers[0]
+        c.tee_view()
+        c.reboot()
+        c.restart(n_peers=N - 1)
+        assert c.recovering
+        with pytest.raises(EnclaveAbort):
+            c.tee_view()
+        block, _ = None, None
+        with pytest.raises(EnclaveAbort):
+            c.tee_reply(None)  # even replies are refused while recovering
+
+    def test_reboot_wipes_state(self, world):
+        _, _, checkers, _ = world
+        c = checkers[0]
+        c.tee_view()
+        c.tee_view()
+        assert c.state.vi == 2
+        c.reboot()
+        c.restart(n_peers=N - 1)
+        assert c.state.vi == 0  # volatile state gone — recovery must rebuild

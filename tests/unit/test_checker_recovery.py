@@ -1,0 +1,215 @@
+"""Unit tests for the CHECKER's recovery ECALLs (Algorithm 3 TEE code)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checker import AchillesChecker
+from repro.core.certificates import RecoveryReply
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.crypto.signatures import sign
+from repro.errors import EnclaveAbort
+
+N, F = 5, 2
+
+
+@pytest.fixture
+def world():
+    pairs = generate_keypairs(range(N), seed=11)
+    ring = Keyring.from_keypairs(pairs)
+    checkers = {
+        i: AchillesChecker(node_id=i, n=N, f=F, private_key=pairs[i].private,
+                           keyring=ring)
+        for i in range(N)
+    }
+    return pairs, ring, checkers
+
+
+def put_in_view(checker: AchillesChecker, view: int) -> None:
+    while checker.state.vi < view:
+        checker.tee_view()
+
+
+def reboot(checker: AchillesChecker) -> None:
+    checker.reboot()
+    checker.restart(n_peers=N - 1)
+
+
+def gather_replies(checkers, request, exclude=()):
+    replies = []
+    for i, c in checkers.items():
+        if i == request.requester or i in exclude:
+            continue
+        replies.append(c.tee_reply(request))
+    return replies
+
+
+class TestRequestReply:
+    def test_request_carries_fresh_nonces(self, world):
+        _, _, checkers = world
+        reboot(checkers[0])
+        r1 = checkers[0].tee_request()
+        r2 = checkers[0].tee_request()
+        assert r1.nonce != r2.nonce
+        assert r1.requester == 0
+
+    def test_reply_reports_state_and_echoes_nonce(self, world):
+        _, ring, checkers = world
+        put_in_view(checkers[1], 4)
+        reboot(checkers[0])
+        request = checkers[0].tee_request()
+        reply = checkers[1].tee_reply(request)
+        assert reply.vi == 4
+        assert reply.nonce == request.nonce
+        assert reply.requester == 0
+        assert reply.validate(ring)
+
+    def test_recovering_node_does_not_reply(self, world):
+        _, _, checkers = world
+        reboot(checkers[0])
+        reboot(checkers[1])
+        request = checkers[0].tee_request()
+        with pytest.raises(EnclaveAbort):
+            checkers[1].tee_reply(request)
+
+    def test_forged_request_rejected(self, world):
+        pairs, _, checkers = world
+        from repro.core.certificates import RecoveryRequest
+
+        forged = RecoveryRequest(
+            nonce="n", requester=0,
+            signature=sign(pairs[3].private, "REQ", "n", 0),  # wrong signer
+        )
+        with pytest.raises(EnclaveAbort):
+            checkers[1].tee_reply(forged)
+
+
+class TestTEErecover:
+    def _standard_recovery(self, world, views: dict[int, int]):
+        """Put each live checker in the given view, reboot node 0, collect
+        replies, and return (checker0, request, replies)."""
+        _, _, checkers = world
+        for node, view in views.items():
+            put_in_view(checkers[node], view)
+        reboot(checkers[0])
+        request = checkers[0].tee_request()
+        replies = gather_replies(checkers, request)
+        return checkers[0], request, replies
+
+    def test_successful_recovery_jumps_two_views(self, world):
+        # Highest view 3 is held by node 3 == leader_of(3): rule satisfied.
+        checker0, _, replies = self._standard_recovery(
+            world, {1: 2, 2: 2, 3: 3, 4: 2}
+        )
+        leader_reply = next(r for r in replies if r.signer == 3)
+        cert = checker0.tee_recover(leader_reply, replies)
+        assert checker0.state.vi == 3 + 2
+        assert cert.current_view == 5
+        assert not checker0.recovering
+
+    def test_recovered_state_adopts_leader_block_info(self, world):
+        pairs, _, checkers = world
+        put_in_view(checkers[3], 3)
+        checkers[3].state.prepv = 2
+        checkers[3].state.preph = "deadbeef"
+        for node in (1, 2, 4):
+            put_in_view(checkers[node], 2)
+        reboot(checkers[0])
+        request = checkers[0].tee_request()
+        replies = gather_replies(checkers, request)
+        leader_reply = next(r for r in replies if r.signer == 3)
+        checker0 = checkers[0]
+        checker0.tee_recover(leader_reply, replies)
+        assert checker0.state.preph == "deadbeef"
+        assert checker0.state.prepv == 2
+
+    def test_highest_reply_not_from_leader_aborts(self, world):
+        # Highest view 3 held by node 4, but leader_of(3) == 3: must abort.
+        checker0, _, replies = self._standard_recovery(
+            world, {1: 2, 2: 2, 3: 2, 4: 3}
+        )
+        fake_leader = next(r for r in replies if r.signer == 4)
+        with pytest.raises(EnclaveAbort, match="leader"):
+            checker0.tee_recover(fake_leader, replies)
+
+    def test_leader_reply_must_be_the_maximum(self, world):
+        checker0, _, replies = self._standard_recovery(
+            world, {1: 2, 2: 2, 3: 3, 4: 2}
+        )
+        lower = next(r for r in replies if r.signer == 2)
+        with pytest.raises(EnclaveAbort):
+            checker0.tee_recover(lower, replies)
+
+    def test_replayed_nonce_rejected(self, world):
+        """Replies captured for an earlier request cannot satisfy a new one
+        — the replay attack the nonce exists for."""
+        _, _, checkers = world
+        for node in (1, 2, 3, 4):
+            put_in_view(checkers[node], 3)
+        reboot(checkers[0])
+        old_request = checkers[0].tee_request()
+        stale_replies = gather_replies(checkers, old_request)
+        # The node retries with a fresh nonce; stale replies must not pass.
+        checkers[0].tee_request()
+        leader_reply = next(r for r in stale_replies if r.signer == 3)
+        with pytest.raises(EnclaveAbort, match="nonce"):
+            checkers[0].tee_recover(leader_reply, stale_replies)
+
+    def test_too_few_replies_rejected(self, world):
+        _, _, checkers = world
+        for node in (1, 2, 3, 4):
+            put_in_view(checkers[node], 3)
+        reboot(checkers[0])
+        request = checkers[0].tee_request()
+        replies = gather_replies(checkers, request, exclude=(2, 4))  # only 2
+        leader_reply = next(r for r in replies if r.signer == 3)
+        with pytest.raises(EnclaveAbort, match="f\\+1"):
+            checkers[0].tee_recover(leader_reply, replies)
+
+    def test_duplicate_signers_do_not_count_twice(self, world):
+        _, _, checkers = world
+        for node in (1, 2, 3, 4):
+            put_in_view(checkers[node], 3)
+        reboot(checkers[0])
+        request = checkers[0].tee_request()
+        reply3 = checkers[3].tee_reply(request)
+        with pytest.raises(EnclaveAbort, match="f\\+1"):
+            checkers[0].tee_recover(reply3, [reply3, reply3, reply3])
+
+    def test_reply_for_other_node_rejected(self, world):
+        _, _, checkers = world
+        for node in (1, 2, 3, 4):
+            put_in_view(checkers[node], 3)
+        reboot(checkers[0])
+        reboot(checkers[4])
+        # Replies addressed to node 4 must not recover node 0.
+        checkers[4].restart(0)
+        request4 = checkers[4].tee_request()
+        replies = [checkers[i].tee_reply(request4) for i in (1, 2, 3)]
+        checkers[0].tee_request()
+        leader_reply = next(r for r in replies if r.signer == 3)
+        with pytest.raises(EnclaveAbort):
+            checkers[0].tee_recover(leader_reply, replies)
+
+    def test_recover_without_request_rejected(self, world):
+        _, _, checkers = world
+        reboot(checkers[0])
+        with pytest.raises(EnclaveAbort, match="outstanding"):
+            checkers[0].tee_recover(
+                RecoveryReply(preh="", prepv=0, vi=0, requester=0, nonce="x",
+                              signature=sign(
+                                  generate_keypairs([9], seed=1)[9].private,
+                                  "RPY", "", 0, 0, 0, "x")),
+                [],
+            )
+
+    def test_recover_when_not_recovering_rejected(self, world):
+        _, _, checkers = world
+        with pytest.raises(EnclaveAbort, match="not in recovery"):
+            checkers[0].tee_recover(
+                RecoveryReply(preh="", prepv=0, vi=0, requester=0, nonce="x",
+                              signature=sign(
+                                  generate_keypairs([9], seed=1)[9].private,
+                                  "RPY", "", 0, 0, 0, "x")),
+                [],
+            )

@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "achilles"])
+        assert args.protocol == "achilles"
+        assert args.faults == 2
+        assert args.network == "LAN"
+        assert args.batch == 400
+        assert args.rate is None
+
+    def test_compare_takes_multiple_protocols(self):
+        args = build_parser().parse_args(
+            ["compare", "achilles", "braft", "--network", "WAN", "--f", "4"])
+        assert args.protocols == ["achilles", "braft"]
+        assert args.network == "WAN"
+        assert args.faults == 4
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "achilles", "--network", "MOON"])
+
+
+class TestCommands:
+    def test_protocols_lists_registry(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("achilles", "damysus-r", "flexibft", "braft", "minbft"):
+            assert name in out
+
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "achilles", "--f", "1", "--batch", "20",
+                     "--payload", "16", "--duration", "200", "--warmup", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tput (KTPS)" in out
+        assert "achilles" in out
+
+    def test_unknown_protocol_is_clean_error(self, capsys):
+        code = main(["run", "pbft", "--duration", "100"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_counters_table(self, capsys):
+        assert main(["counters", "--samples", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "TPM" in out and "Narrator_WAN" in out
+
+    def test_recovery_table(self, capsys):
+        assert main(["recovery", "--nodes", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "initialization" in out
+
+    def test_compare_runs_multiple(self, capsys):
+        code = main(["compare", "achilles", "braft", "--f", "1",
+                     "--batch", "20", "--payload", "16",
+                     "--duration", "200", "--warmup", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achilles" in out and "braft" in out

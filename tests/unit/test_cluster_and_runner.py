@@ -1,0 +1,141 @@
+"""Unit tests for cluster assembly, the experiment runner plumbing, and
+the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+from repro.consensus.cluster import Cluster, build_cluster
+from repro.core.node import AchillesNode
+from repro.errors import ConfigurationError, ReproError
+from repro.harness.runner import PROTOCOLS, ProtocolSpec, register_protocol
+from repro.net.latency import LAN_PROFILE
+
+from tests.conftest import achilles_cluster, fast_config
+
+
+class TestBuildCluster:
+    def test_builds_n_nodes_with_shared_keyring(self):
+        cluster = achilles_cluster(f=2)
+        assert len(cluster.nodes) == 5
+        assert len(cluster.keyring) == 5
+        ids = [n.node_id for n in cluster.nodes]
+        assert ids == list(range(5))
+        # every node attached to the network
+        assert cluster.network.endpoints() == list(range(5))
+
+    def test_byzantine_factory_replaces_named_nodes(self):
+        from repro.faults.byzantine import SilentNode
+
+        cluster = build_cluster(
+            node_factory=AchillesNode, config=fast_config(f=1),
+            latency=LAN_PROFILE, byzantine_factories={1: SilentNode},
+        )
+        assert isinstance(cluster.nodes[1], SilentNode)
+        assert type(cluster.nodes[0]) is AchillesNode
+
+    def test_byzantine_id_out_of_range_rejected(self):
+        from repro.faults.byzantine import SilentNode
+
+        with pytest.raises(ConfigurationError):
+            build_cluster(
+                node_factory=AchillesNode, config=fast_config(f=1),
+                latency=LAN_PROFILE, byzantine_factories={9: SilentNode},
+            )
+
+    def test_run_until_predicate(self):
+        cluster = achilles_cluster(f=1)
+        cluster.start()
+        reached = cluster.run_until(
+            lambda: cluster.min_committed_height() >= 5, timeout_ms=2000.0,
+        )
+        assert reached
+        assert cluster.min_committed_height() >= 5
+        assert cluster.sim.now < 2000.0  # stopped early
+
+    def test_run_until_times_out(self):
+        cluster = achilles_cluster(f=1)
+        # never started: nothing commits
+        reached = cluster.run_until(
+            lambda: cluster.min_committed_height() >= 1, timeout_ms=50.0,
+        )
+        assert not reached
+
+    def test_assert_safety_detects_divergence(self):
+        cluster = achilles_cluster(f=1)
+        cluster.start()
+        cluster.run(50.0)
+        # Forge a divergent committed chain on one node.
+        from repro.chain.block import create_leaf
+        from repro.chain.store import BlockStore
+
+        rogue = BlockStore()
+        evil = create_leaf((), "evil", rogue.genesis, view=1, proposer=9)
+        rogue.add(evil)
+        rogue.commit(evil)
+        cluster.nodes[0].store = rogue
+        with pytest.raises(AssertionError, match="safety violation"):
+            cluster.assert_safety()
+
+
+class TestProtocolRegistry:
+    def test_register_is_idempotent_by_name(self):
+        import repro.core.registry  # noqa: F401 (ensure achilles registered)
+
+        spec = ProtocolSpec(name="achilles", node_cls=AchillesNode,
+                            committee=lambda f: 2 * f + 1)
+        before = len(PROTOCOLS)
+        register_protocol(spec)
+        assert len(PROTOCOLS) == before
+
+    def test_spec_committee_shapes(self):
+        import repro.baselines  # noqa: F401
+        import repro.core.registry  # noqa: F401
+
+        assert PROTOCOLS["achilles"].committee(10) == 21
+        assert PROTOCOLS["flexibft"].committee(10) == 31
+        assert PROTOCOLS["achilles-c"].outside_tee
+        assert not PROTOCOLS["achilles"].uses_counter
+        assert PROTOCOLS["minbft-r"].uses_counter
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        for name in ("SimulationError", "NetworkError", "CryptoError",
+                     "InvalidSignature", "EnclaveAbort", "EnclaveOffline",
+                     "SealingError", "CounterError", "ChainError",
+                     "ValidationError", "ConfigurationError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError), name
+
+    def test_enclave_abort_carries_reason(self):
+        exc = errors.EnclaveAbort("flag == 1")
+        assert exc.reason == "flag == 1"
+        assert issubclass(errors.EnclaveOffline, errors.EnclaveAbort)
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet_from_readme_runs(self):
+        from repro import MetricsCollector, SaturatedSource, build_achilles_cluster
+        from repro.net.latency import LAN_PROFILE
+
+        collector = MetricsCollector(warmup_ms=10.0)
+        cluster = build_achilles_cluster(
+            f=1, latency=LAN_PROFILE,
+            config=fast_config(f=1),
+            source_factory=lambda sim: SaturatedSource(sim, payload_size=16),
+            listener=collector,
+        )
+        cluster.start()
+        cluster.run(100.0)
+        cluster.assert_safety()
+        assert collector.summary()["txs_committed"] > 0

@@ -1,0 +1,186 @@
+"""Unit tests for the crypto substrate: hashing, keys, signatures, quorums."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hashing import GENESIS_HASH, digest_of, sha256_hex
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.crypto.quorum import combine_signatures, distinct_signers
+from repro.crypto.signatures import (
+    CryptoProfile,
+    SignatureList,
+    require_valid,
+    sign,
+    verify,
+    verify_distinct,
+)
+from repro.errors import CryptoError, InvalidSignature, ValidationError
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert digest_of("a", 1, [2, 3]) == digest_of("a", 1, [2, 3])
+
+    def test_dict_order_independent(self):
+        assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+
+    def test_type_distinction(self):
+        # int 1 and string "1" must hash differently
+        assert digest_of(1) != digest_of("1")
+        assert digest_of(True) != digest_of(1)
+        assert digest_of(None) != digest_of(0)
+
+    def test_nesting_distinction(self):
+        assert digest_of([1, 2], [3]) != digest_of([1], [2, 3])
+        assert digest_of(["ab"]) != digest_of(["a", "b"])
+
+    def test_sha256_hex(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_genesis_hash_is_stable(self):
+        assert len(GENESIS_HASH) == 64
+
+
+class TestKeys:
+    def test_generate_deterministic(self):
+        a = generate_keypairs([0, 1], seed=1)
+        b = generate_keypairs([0, 1], seed=1)
+        assert a[0].public == b[0].public
+
+    def test_different_seeds_differ(self):
+        a = generate_keypairs([0], seed=1)
+        b = generate_keypairs([0], seed=2)
+        assert a[0].public != b[0].public
+
+    def test_keyring_lookup(self):
+        pairs = generate_keypairs(range(3), seed=1)
+        ring = Keyring.from_keypairs(pairs)
+        assert ring.public_key(1) == pairs[1].public
+        assert 2 in ring
+        assert 5 not in ring
+        assert len(ring) == 3
+        assert ring.node_ids() == [0, 1, 2]
+
+    def test_keyring_missing_key_raises(self):
+        ring = Keyring({})
+        with pytest.raises(CryptoError):
+            ring.public_key(0)
+
+
+class TestSignatures:
+    @pytest.fixture
+    def setup(self):
+        pairs = generate_keypairs(range(3), seed=1)
+        return pairs, Keyring.from_keypairs(pairs)
+
+    def test_sign_verify_roundtrip(self, setup):
+        pairs, ring = setup
+        sig = sign(pairs[0].private, "COMMIT", "h", 3)
+        assert verify(ring, sig, "COMMIT", "h", 3)
+        assert sig.id == 0
+
+    def test_wrong_message_fails(self, setup):
+        pairs, ring = setup
+        sig = sign(pairs[0].private, "COMMIT", "h", 3)
+        assert not verify(ring, sig, "COMMIT", "h", 4)
+
+    def test_forged_tag_fails(self, setup):
+        pairs, ring = setup
+        sig = sign(pairs[0].private, "m")
+        from repro.crypto.signatures import Signature
+
+        forged = Signature(signer=1, digest=sig.digest, tag=sig.tag)
+        assert not verify(ring, forged, "m")
+
+    def test_unknown_signer_fails(self, setup):
+        pairs, ring = setup
+        from repro.crypto.signatures import Signature
+
+        rogue = Signature(signer=99, digest="d", tag="t")
+        assert not verify(ring, rogue, "m")
+
+    def test_require_valid_raises(self, setup):
+        pairs, ring = setup
+        sig = sign(pairs[0].private, "m")
+        require_valid(ring, sig, "m")  # no raise
+        with pytest.raises(InvalidSignature):
+            require_valid(ring, sig, "other")
+
+    def test_signature_list(self, setup):
+        pairs, ring = setup
+        sigs = SignatureList.of(sign(pairs[i].private, "m") for i in range(3))
+        assert len(sigs) == 3
+        assert sigs.distinct_signers() == {0, 1, 2}
+        assert sigs.verify_all(ring, "m")
+        assert not sigs.verify_all(ring, "other")
+
+    def test_verify_distinct_counts_unique_signers(self, setup):
+        pairs, ring = setup
+        sigs = [sign(pairs[0].private, "m")] * 3 + [sign(pairs[1].private, "m")]
+        assert verify_distinct(ring, sigs, 2, "m")
+        assert not verify_distinct(ring, sigs, 3, "m")
+
+
+class TestCryptoProfile:
+    def test_costs(self):
+        p = CryptoProfile(sign_ms=0.04, verify_ms=0.1, hash_per_kb_ms=0.01,
+                          verify_batch_floor=0.05)
+        assert p.hash_cost(2048) == pytest.approx(0.02)
+        assert p.verify_many(0) == 0.0
+        assert p.verify_many(1) == pytest.approx(0.1)
+        # amortized: first full, rest at max(floor, 85%)
+        assert p.verify_many(3) == pytest.approx(0.1 + 2 * 0.085)
+
+    def test_free_profile_is_zero(self):
+        p = CryptoProfile.free()
+        assert p.verify_many(100) == 0.0
+        assert p.hash_cost(10**6) == 0.0
+
+
+class TestQuorum:
+    @pytest.fixture
+    def setup(self):
+        pairs = generate_keypairs(range(5), seed=1)
+        return pairs, Keyring.from_keypairs(pairs)
+
+    def test_combine_and_validate(self, setup):
+        pairs, ring = setup
+        statement = ("COMMIT", "h", 7)
+        sigs = [sign(pairs[i].private, *statement) for i in range(3)]
+        qc = combine_signatures(statement, sigs, threshold=3, keyring=ring)
+        assert qc.validate(ring)
+        assert qc.signers() == {0, 1, 2}
+
+    def test_combine_dedupes_by_signer(self, setup):
+        pairs, ring = setup
+        statement = ("X",)
+        sigs = [sign(pairs[0].private, *statement)] * 5
+        with pytest.raises(ValidationError):
+            combine_signatures(statement, sigs, threshold=2)
+
+    def test_combine_rejects_bad_signature(self, setup):
+        pairs, ring = setup
+        good = sign(pairs[0].private, "X")
+        bad = sign(pairs[1].private, "Y")  # signed the wrong statement
+        with pytest.raises(ValidationError):
+            combine_signatures(("X",), [good, bad], threshold=2, keyring=ring)
+
+    def test_validate_fails_below_threshold(self, setup):
+        pairs, ring = setup
+        statement = ("X",)
+        sigs = [sign(pairs[i].private, *statement) for i in range(2)]
+        qc = combine_signatures(statement, sigs, threshold=2, keyring=ring)
+        # Tamper: claim a higher threshold than the signatures support.
+        from dataclasses import replace
+
+        stricter = replace(qc, threshold=3)
+        assert not stricter.validate(ring)
+
+    def test_distinct_signers_helper(self, setup):
+        pairs, _ = setup
+        sigs = [sign(pairs[0].private, "m"), sign(pairs[1].private, "m"),
+                sign(pairs[0].private, "m")]
+        assert distinct_signers(sigs) == {0, 1}

@@ -1,0 +1,52 @@
+"""Unit tests for the per-figure experiment definitions (small configs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    fig3_batch_sweep,
+    fig3_fault_sweep,
+    fig3_payload_sweep,
+    fig4_latency_vs_throughput,
+    fig5_counter_sweep,
+)
+
+
+class TestSweepShapes:
+    def test_fault_sweep_row_grid(self):
+        results = fig3_fault_sweep("LAN", faults=(1, 2),
+                                   protocols=("achilles", "braft"))
+        assert len(results) == 4
+        assert [(r.protocol, r.f) for r in results] == [
+            ("achilles", 1), ("achilles", 2), ("braft", 1), ("braft", 2)]
+        assert all(r.network == "LAN" for r in results)
+        assert all(r.blocks_committed > 0 for r in results)
+
+    def test_flexibft_gets_its_committee_shape(self):
+        results = fig3_fault_sweep("LAN", faults=(2,), protocols=("flexibft",))
+        assert results[0].n == 7
+
+    def test_payload_sweep_varies_payload_only(self):
+        results = fig3_payload_sweep("LAN", payloads=(0, 64),
+                                     protocols=("achilles",), f=1)
+        assert [r.payload_size for r in results] == [0, 64]
+        assert all(r.batch_size == 400 for r in results)
+
+    def test_batch_sweep_varies_batch_only(self):
+        results = fig3_batch_sweep("LAN", batches=(50, 100),
+                                   protocols=("achilles",), f=1)
+        assert [r.batch_size for r in results] == [50, 100]
+        assert results[1].throughput_ktps > results[0].throughput_ktps
+
+    def test_fig4_records_offered_load(self):
+        results = fig4_latency_vs_throughput(
+            protocols=("achilles",), rates_tps=(1000,), f=1)
+        assert results[0].extras["offered_load_tps"] == 1000
+        assert results[0].throughput_ktps == pytest.approx(1.0, rel=0.3)
+
+    def test_fig5_zero_write_means_no_counter_cost(self):
+        results = fig5_counter_sweep(write_latencies_ms=(0,),
+                                     protocols=("damysus-r",), f=1)
+        assert results[0].counter_write_ms == 0.0
+        assert results[0].commit_latency_ms < 20.0

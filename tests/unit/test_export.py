@@ -1,0 +1,64 @@
+"""Unit tests for result export (JSON/CSV)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.export import (
+    CSV_COLUMNS,
+    load_results,
+    result_to_dict,
+    results_to_csv,
+    results_to_json,
+    write_results,
+)
+from repro.harness.runner import ExperimentResult
+
+
+def sample(protocol="achilles", f=2, extras=None):
+    return ExperimentResult(
+        protocol=protocol, f=f, n=2 * f + 1, network="LAN", batch_size=400,
+        payload_size=256, counter_write_ms=0.0, throughput_ktps=118.3,
+        commit_latency_ms=3.06, commit_latency_p99_ms=3.1,
+        e2e_latency_ms=3.16, txs_committed=1000, blocks_committed=10,
+        messages_sent=300, bytes_sent=10**6, sim_events=5000,
+        extras=extras or {},
+    )
+
+
+class TestExport:
+    def test_dict_inlines_extras(self):
+        record = result_to_dict(sample(extras={"offered_load_tps": 500}))
+        assert record["protocol"] == "achilles"
+        assert record["extra_offered_load_tps"] == 500
+        assert "extras" not in record
+
+    def test_json_roundtrip(self, tmp_path):
+        results = [sample(), sample(protocol="braft", f=4)]
+        path = write_results(results, tmp_path / "out.json")
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[1]["protocol"] == "braft"
+        assert loaded[0]["throughput_ktps"] == pytest.approx(118.3)
+
+    def test_json_is_valid_and_stable(self):
+        text = results_to_json([sample()])
+        parsed = json.loads(text)
+        assert parsed[0]["n"] == 5
+
+    def test_csv_columns_and_rows(self, tmp_path):
+        results = [sample(extras={"rate": 1}), sample(protocol="braft")]
+        path = write_results(results, tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:len(CSV_COLUMNS)] == CSV_COLUMNS
+        assert "extra_rate" in header
+        assert len(lines) == 3
+        assert lines[1].startswith("achilles,")
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_results([sample()], tmp_path / "out.xlsx")

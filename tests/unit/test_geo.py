@@ -1,0 +1,89 @@
+"""Unit + integration tests for the geo-distributed latency model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.geo import DEFAULT_REGION_RTTS, GeoLatencyModel
+
+
+class TestGeoModel:
+    def test_spread_across_round_robin(self):
+        model = GeoLatencyModel.spread_across(7)
+        regions = [model.node_regions[i] for i in range(7)]
+        assert regions[:3] == ["us-east", "eu-west", "ap-east"]
+        assert regions[3] == "us-east"
+
+    def test_link_rtt_symmetric(self):
+        model = GeoLatencyModel.spread_across(6)
+        assert model.link_rtt(0, 1) == model.link_rtt(1, 0) == 75.0
+        assert model.link_rtt(0, 3) == 1.0   # both us-east
+        assert model.link_rtt(1, 2) == 180.0
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeoLatencyModel(name="bad", node_regions={0: "mars"})
+
+    def test_missing_pair_rejected(self):
+        model = GeoLatencyModel(
+            name="partial", node_regions={0: "us-east", 1: "eu-west"},
+            region_rtts={("us-east", "us-east"): 1.0,
+                         ("eu-west", "eu-west"): 1.0},
+        )
+        with pytest.raises(ConfigurationError):
+            model.link_rtt(0, 1)
+
+    def test_sample_link_centers_on_half_rtt(self):
+        model = GeoLatencyModel.spread_across(6)
+        rng = random.Random(0)
+        samples = [model.sample_link(0, 2, rng) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(100.0, rel=0.05)  # 200 ms RTT / 2
+
+    def test_unplaced_endpoint_gets_local_access(self):
+        model = GeoLatencyModel.spread_across(3)
+        assert model.link_rtt(0, 10_000) == 1.0  # e.g. a client
+
+    def test_reporting_properties(self):
+        model = GeoLatencyModel.spread_across(3)
+        assert model.rtt_ms == pytest.approx(
+            sum(DEFAULT_REGION_RTTS.values()) / len(DEFAULT_REGION_RTTS))
+        assert model.one_way_ms == pytest.approx(model.rtt_ms / 2)
+
+
+class TestGeoCluster:
+    def test_achilles_runs_safely_across_regions(self):
+        from repro.client.workload import SaturatedSource
+        from repro.harness.metrics import MetricsCollector
+        from repro.core.protocol import build_achilles_cluster
+        from tests.conftest import fast_config
+
+        model = GeoLatencyModel.spread_across(5)
+        collector = MetricsCollector(warmup_ms=200.0)
+        cluster = build_achilles_cluster(
+            f=2, latency=model,
+            config=fast_config(f=2, base_timeout_ms=800.0),
+            source_factory=lambda sim: SaturatedSource(sim, payload_size=16),
+            listener=collector, seed=5,
+        )
+        cluster.start()
+        cluster.run(3000.0)
+        cluster.assert_safety()
+        assert cluster.min_committed_height() >= 5
+        # Latency is dominated by inter-region hops: far above intra-region
+        # (1 ms) but bounded by one cross-Pacific round trip.
+        assert 20.0 <= collector.commit_latency.mean <= 220.0
+
+    def test_flat_profiles_unaffected_by_hook(self):
+        """Networks built with flat profiles keep working (the sample_link
+        hook is optional)."""
+        from tests.conftest import achilles_cluster
+
+        cluster = achilles_cluster(f=1)
+        cluster.start()
+        cluster.run(100.0)
+        cluster.assert_safety()
+        assert cluster.min_committed_height() >= 3

@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.loop import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_preserves_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in range(10):
+            q.push(5.0, lambda t=tag: fired.append(t))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == list(range(10))
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(4)]
+        assert len(q) == 4
+        events[1].cancel()
+        q.note_cancelled()
+        assert len(q) == 3
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        fired = []
+        keep = q.push(1.0, lambda: fired.append("keep"))
+        drop = q.push(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        q.note_cancelled()
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == ["keep"]
+        assert keep.time == 1.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        first.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 2.0
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5, 5.0]
+        assert sim.now == 5.0
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0  # clock advanced exactly to the boundary
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel_stops_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert len(sim.queue) == 0
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append("nested")))
+        sim.run()
+        assert fired == ["nested"]
+        assert sim.now == 2.0
+
+    def test_stop_halts_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        count = [0]
+
+        def recur():
+            count[0] += 1
+            sim.schedule(1.0, recur)
+
+        sim.schedule(0.0, recur)
+        sim.run(max_events=10)
+        assert count[0] == 10
+
+    def test_determinism_across_runs(self):
+        def run_once(seed: int) -> list[float]:
+            sim = Simulator(seed=seed)
+            rng = sim.fork_rng("jitter")
+            samples = []
+
+            def emit():
+                samples.append(round(rng.uniform(0, 1), 9))
+                if len(samples) < 20:
+                    sim.schedule(rng.uniform(0, 2), emit)
+
+            sim.schedule(0.0, emit)
+            sim.run()
+            return samples
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)
+
+    def test_fork_rng_streams_are_independent(self):
+        sim = Simulator(seed=1)
+        a1 = sim.fork_rng("a").random()
+        # drawing from another stream must not perturb "a"
+        sim.fork_rng("b").random()
+        a2 = sim.fork_rng("a").random()
+        assert a1 == a2
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.0]
