@@ -1,0 +1,23 @@
+# Developer/CI entry points.  `make ci` is what the GitHub Actions
+# workflow runs: the full test suite plus the quick-mode benchmark sweep
+# (REPRO_BENCH_QUICK shrinks the sweeps; the parallel harness still
+# exercises the multiprocessing fan-out).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick bench perf ci
+
+test:
+	$(PYTHON) -m pytest -x -q tests/
+
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+
+perf:
+	$(PYTHON) -m pytest -q benchmarks/test_simulator_perf.py --benchmark-only
+
+ci: test bench-quick

@@ -1,0 +1,55 @@
+"""Simulator micro-benchmark — events/sec trajectory tracking.
+
+Unlike the figure/table benchmarks, this file measures the *simulator*,
+not the protocols: one representative closed-loop Achilles run, reported
+as simulated events per wall-clock second.  The number lands in
+``benchmark.extra_info`` (so ``--benchmark-json`` trajectories carry it)
+and in ``benchmarks/results/simulator_perf.txt``, giving hot-path
+optimizations and regressions a single scalar to track over time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import quick_mode
+from repro.harness.report import format_table
+from repro.harness.runner import run_experiment
+
+
+def test_simulator_events_per_sec(benchmark, record_table):
+    f = 4 if quick_mode() else 10
+    duration_ms = 800.0 if quick_mode() else 1500.0
+
+    state = {}
+
+    def _run():
+        start = time.perf_counter()
+        result = run_experiment(
+            "achilles", f=f, network="LAN",
+            batch_size=400, payload_size=256,
+            duration_ms=duration_ms, warmup_ms=300.0, seed=1,
+        )
+        state["wall_s"] = time.perf_counter() - start
+        state["result"] = result
+        return result
+
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    wall_s = state["wall_s"]
+    events_per_sec = result.sim_events / wall_s
+    benchmark.extra_info["sim_events"] = result.sim_events
+    benchmark.extra_info["wall_s"] = round(wall_s, 4)
+    benchmark.extra_info["events_per_sec"] = round(events_per_sec, 1)
+
+    record_table("simulator_perf", format_table(
+        ["f", "duration (sim ms)", "sim events", "wall (s)", "events/s"],
+        [[f, duration_ms, result.sim_events, round(wall_s, 3),
+          round(events_per_sec, 1)]],
+        title="Simulator micro-benchmark — achilles, LAN, closed loop",
+    ))
+
+    # The run must actually simulate something, and the simulator should
+    # comfortably clear a floor no healthy build has ever been near.
+    assert result.sim_events > 1000
+    assert events_per_sec > 100

@@ -7,7 +7,7 @@ measured from live runs and trace counters."""
 from __future__ import annotations
 
 from conftest import quick_mode
-from repro.harness.analysis import measure_protocol, messages_linear_in_n
+from repro.harness.analysis import measure_protocols, messages_linear_in_n
 from repro.harness.report import format_table
 
 PROTOCOLS = ["achilles", "damysus", "damysus-r", "oneshot", "oneshot-r",
@@ -15,7 +15,7 @@ PROTOCOLS = ["achilles", "damysus", "damysus-r", "oneshot", "oneshot-r",
 
 
 def _measure_all():
-    profiles = [measure_protocol(name, f=2) for name in PROTOCOLS]
+    profiles = measure_protocols(PROTOCOLS, f=2)
     complexity = {
         name: messages_linear_in_n(name, fs=(2, 4, 8))
         for name in ("achilles", "damysus", "flexibft")

@@ -12,6 +12,7 @@ ancestry.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Optional
@@ -34,10 +35,26 @@ class Block:
 
     @cached_property
     def hash(self) -> str:
-        """The block's content hash (H(b) in the paper)."""
+        """The block's content hash (H(b) in the paper).
+
+        Memoized: blocks are immutable and shared, so each block is
+        canonicalized and hashed exactly once — at first use, typically
+        right after construction — no matter how many signatures, checker
+        calls, and network sends reference it afterwards.
+        """
         if self.height == 0:
             return GENESIS_HASH
-        tx_digest = digest_of([t.key + (t.payload,) for t in self.txs])
+        # Inlined canonical encoding of
+        # digest_of([t.key + (t.payload,) for t in self.txs]): one
+        # streamed hash, no intermediate list of tuples.  Equivalence is
+        # pinned by tests/unit/test_chain.py.
+        h = hashlib.sha256()
+        h.update(b"l%d:" % len(self.txs))
+        for t in self.txs:
+            data = t.payload.encode()
+            cid, txid = t.key
+            h.update(b"l3:i%di%ds%d:%s" % (cid, txid, len(data), data))
+        tx_digest = h.hexdigest()
         return digest_of(tx_digest, self.op, self.parent_hash, self.view, self.height, self.proposer)
 
     @property
@@ -45,10 +62,18 @@ class Block:
         """True for the hard-coded genesis block G."""
         return self.height == 0
 
-    def wire_size(self) -> int:
-        """Serialized size: header fields + all transactions."""
+    @cached_property
+    def _wire_size(self) -> int:
         header = 2 * HASH_BYTES + 8 + 8 + 4  # op + parent hash + view/height/proposer
         return header + sum(t.wire_size() for t in self.txs)
+
+    def wire_size(self) -> int:
+        """Serialized size: header fields + all transactions.
+
+        Memoized like :attr:`hash` — summing per-transaction sizes on every
+        send dominated benchmark profiles before caching.
+        """
+        return self._wire_size
 
     def __repr__(self) -> str:  # keep logs readable
         return (

@@ -6,34 +6,63 @@ consensus; the KV state machine interprets payloads of the form
 ``"SET <key> <value>"`` and treats anything else as a no-op write of its
 own digest (so execution results are still deterministic functions of the
 payload).
+
+Transactions are immutable by convention and minted in bulk (every
+``take`` from a saturated source creates a full batch), so the class is a
+hand-rolled ``__slots__`` type rather than a dataclass: constructing
+hundreds of thousands of them per run made the generated
+``__init__``/``__post_init__`` pair a measurable slice of simulator
+profiles.  ``key`` (the globally unique identity) and the wire size are
+precomputed at construction; nothing may write to a transaction after
+``__init__`` returns, or digests derived from it would go stale.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 #: Metadata bytes per transaction (client id + transaction id), Sec. 5.1.
 TX_METADATA_BYTES = 8
 
 
-@dataclass(frozen=True)
 class Transaction:
     """One client transaction."""
 
-    client_id: int
-    tx_id: int
-    payload: str = ""
-    payload_size: int = 0
-    created_at: float = 0.0
+    __slots__ = ("client_id", "tx_id", "payload", "payload_size",
+                 "created_at", "key", "_wire_size")
+
+    def __init__(self, client_id: int, tx_id: int, payload: str = "",
+                 payload_size: int = 0, created_at: float = 0.0) -> None:
+        self.client_id = client_id
+        self.tx_id = tx_id
+        self.payload = payload
+        self.payload_size = payload_size
+        self.created_at = created_at
+        self.key = (client_id, tx_id)
+        text_bytes = len(payload.encode()) if payload else 0
+        self._wire_size = TX_METADATA_BYTES + (
+            payload_size if payload_size > text_bytes else text_bytes)
 
     def wire_size(self) -> int:
         """Serialized size: metadata + max(declared payload size, text)."""
-        return TX_METADATA_BYTES + max(self.payload_size, len(self.payload.encode()))
+        return self._wire_size
 
-    @property
-    def key(self) -> tuple[int, int]:
-        """Globally unique identity of the transaction."""
-        return (self.client_id, self.tx_id)
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return (self.client_id == other.client_id
+                and self.tx_id == other.tx_id
+                and self.payload == other.payload
+                and self.payload_size == other.payload_size
+                and self.created_at == other.created_at)
+
+    def __hash__(self) -> int:
+        return hash((self.client_id, self.tx_id, self.payload,
+                     self.payload_size, self.created_at))
+
+    def __repr__(self) -> str:
+        return (f"Transaction(client_id={self.client_id!r}, "
+                f"tx_id={self.tx_id!r}, payload={self.payload!r}, "
+                f"payload_size={self.payload_size!r}, "
+                f"created_at={self.created_at!r})")
 
 
 def tx_wire_size(payload_size: int) -> int:

@@ -69,19 +69,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Run several protocols on the same configuration."""
-    from repro.harness.runner import run_experiment
+    """Run several protocols on the same configuration.
 
-    rows = []
-    for protocol in args.protocols:
-        result = run_experiment(
-            protocol, f=args.faults, network=args.network,
+    Protocols fan out over worker processes (``REPRO_HARNESS_WORKERS``
+    controls the width); per-experiment wall-clock/events-per-second
+    lines go to stderr so the stdout table stays clean.
+    """
+    from repro.harness.parallel import run_experiments
+
+    results = run_experiments([
+        dict(
+            protocol=protocol, f=args.faults, network=args.network,
             batch_size=args.batch, payload_size=args.payload,
             counter_write_ms=args.counter_write_ms,
             duration_ms=args.duration, warmup_ms=args.warmup, seed=args.seed,
             offered_load_tps=args.rate,
         )
-        rows.append(_result_row(result))
+        for protocol in args.protocols
+    ])
+    rows = [_result_row(result) for result in results]
     print(format_table(
         _RESULT_HEADERS, rows,
         title=f"comparison — {args.network}, f={args.faults}, "

@@ -261,25 +261,38 @@ class ReplicaBase(Process):
         """
         newly = self.store.commit(block)
         now = self.sim.now
+        listener = self.listener
+        on_replies = getattr(listener, "on_replies", None)
+        trace_record = self.sim.trace.record
         for b in newly:
             self.charge(self.config.costs.exec_cost(len(b.txs)))
             if self.state_machine is not None:
                 self.state_machine.apply_batch(b.txs)
-            self.sim.trace.record(now, "commit", self.node_id,
-                                  block=b.hash, view=b.view, height=b.height)
-            if self.listener is not None:
-                self.listener.on_commit(self.node_id, b, now)
-            for tx in b.txs:
-                if reply and self.listener is not None:
-                    self.listener.on_reply(self.node_id, tx, now)
-                client = self._client_reply_to.pop(tx.key, None)
-                if client is not None:
-                    from repro.consensus.messages import ClientReply
+            trace_record(now, "commit", self.node_id,
+                         block=b.hash, view=b.view, height=b.height)
+            if listener is not None:
+                listener.on_commit(self.node_id, b, now)
+                if reply:
+                    if on_replies is not None:
+                        on_replies(self.node_id, b.txs, now)
+                    else:
+                        on_reply = listener.on_reply
+                        for tx in b.txs:
+                            on_reply(self.node_id, tx, now)
+            if self._client_reply_to:
+                # Closed-loop clients register explicit reply routes; the
+                # dict is empty in the common open-loop benchmarks, so skip
+                # the per-transaction pops entirely then.
+                from repro.consensus.messages import ClientReply
 
-                    self.send_to(client, ClientReply(
-                        tx_key=tx.key, block_hash=b.hash, view=b.view,
-                        replica=self.node_id,
-                    ))
+                pop_client = self._client_reply_to.pop
+                for tx in b.txs:
+                    client = pop_client(tx.key, None)
+                    if client is not None:
+                        self.send_to(client, ClientReply(
+                            tx_key=tx.key, block_hash=b.hash, view=b.view,
+                            replica=self.node_id,
+                        ))
             interval = self.config.checkpoint_interval
             if interval and b.height > 0 and b.height % interval == 0:
                 self._emit_checkpoint_vote(b)

@@ -9,12 +9,21 @@ Validation is split in two: a ``statement()`` method producing the exact
 tuple that was signed, and ``validate(keyring, ...)`` which checks the
 signature(s).  Trusted components sign these inside the enclave; untrusted
 code (and other nodes) verify them with the PKI.
+
+Certificates are immutable, so the digest of the signed statement is
+memoized (``statement_digest``): one certificate object is typically
+validated by every node it reaches — and a commitment certificate checks
+f+1 signatures over the *same* statement — so canonicalizing the statement
+once instead of per validation is one of the simulator's biggest hot-path
+savings (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
+from repro.crypto.hashing import digest_of
 from repro.crypto.keys import Keyring
 from repro.crypto.signatures import Signature, SignatureList, verify
 from repro.net.message import HASH_BYTES, SIGNATURE_BYTES
@@ -33,9 +42,14 @@ class BlockCertificate:
         """The signed tuple."""
         return ("PROP", self.block_hash, self.view)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring) -> bool:
         """Check the signature."""
-        return verify(keyring, self.signature, *self.statement())
+        return verify(keyring, self.signature, digest=self.statement_digest)
 
     def wire_size(self) -> int:
         """Serialized size."""
@@ -55,9 +69,14 @@ class StoreCertificate:
         """The signed tuple."""
         return ("COMMIT", self.block_hash, self.view)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring) -> bool:
         """Check the signature."""
-        return verify(keyring, self.signature, *self.statement())
+        return verify(keyring, self.signature, digest=self.statement_digest)
 
     def wire_size(self) -> int:
         """Serialized size."""
@@ -77,12 +96,18 @@ class CommitmentCertificate:
         """The tuple each member signature covers (a store statement)."""
         return ("COMMIT", self.block_hash, self.view)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring, threshold: int) -> bool:
         """≥ ``threshold`` distinct valid signers over the store statement."""
+        digest = self.statement_digest
         valid = {
             s.signer
             for s in self.signatures.signatures
-            if verify(keyring, s, *self.statement())
+            if verify(keyring, s, digest=digest)
         }
         return len(valid) >= threshold
 
@@ -117,11 +142,16 @@ class AccumulatorCertificate:
         """The signed tuple."""
         return ("ACC", self.block_hash, self.block_view, self.target_view, self.ids)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring, quorum: int) -> bool:
         """Signature valid and the id vector names ≥ quorum distinct nodes."""
         if len(set(self.ids)) < quorum:
             return False
-        return verify(keyring, self.signature, *self.statement())
+        return verify(keyring, self.signature, digest=self.statement_digest)
 
     def wire_size(self) -> int:
         """Serialized size."""
@@ -145,9 +175,14 @@ class ViewCertificate:
         """The signed tuple."""
         return ("NEW-VIEW", self.block_hash, self.block_view, self.current_view)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring) -> bool:
         """Check the signature."""
-        return verify(keyring, self.signature, *self.statement())
+        return verify(keyring, self.signature, digest=self.statement_digest)
 
     @property
     def signer(self) -> int:
@@ -172,10 +207,15 @@ class RecoveryRequest:
         """The signed tuple."""
         return ("REQ", self.nonce, self.requester)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring) -> bool:
         """Check the signature and claimed identity."""
         return self.signature.signer == self.requester and verify(
-            keyring, self.signature, *self.statement()
+            keyring, self.signature, digest=self.statement_digest
         )
 
     def wire_size(self) -> int:
@@ -200,9 +240,14 @@ class RecoveryReply:
         """The signed tuple."""
         return ("RPY", self.preh, self.prepv, self.vi, self.requester, self.nonce)
 
+    @cached_property
+    def statement_digest(self) -> str:
+        """Memoized digest of :meth:`statement` (the object is immutable)."""
+        return digest_of(*self.statement())
+
     def validate(self, keyring: Keyring) -> bool:
         """Check the signature."""
-        return verify(keyring, self.signature, *self.statement())
+        return verify(keyring, self.signature, digest=self.statement_digest)
 
     @property
     def signer(self) -> int:

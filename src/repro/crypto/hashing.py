@@ -4,39 +4,77 @@ Blocks, certificates, and sealed blobs are identified by SHA-256 hex
 digests.  :func:`digest_of` canonicalizes arbitrary (nested) Python values
 into a byte string before hashing, so two structurally equal values always
 hash identically regardless of dict insertion order.
+
+The canonical encoding is *streamable*: every container prefix carries the
+element count (not the byte length), so the encoder can feed chunks
+straight into the hash object without materializing nested byte strings.
+:func:`digest_of` exploits this — it is the hottest function in the
+simulator (every signature, checker call, and block identity goes through
+it), so it avoids the recursive concatenation a naive encoder would do.
+The byte encoding itself is frozen: ``tests/unit/test_crypto.py`` pins it
+against a reference implementation, because digests feed signed statements.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Any
+from typing import Any, Callable
+
+
+def _encode_into(value: Any, emit: Callable[[bytes], Any]) -> None:
+    """Stream the canonical encoding of ``value`` into ``emit``."""
+    if value is None:
+        emit(b"N")
+    elif value is True:
+        emit(b"T")
+    elif value is False:
+        emit(b"F")
+    elif type(value) is int:
+        emit(b"i%d" % value)
+    elif type(value) is str:
+        data = value.encode()
+        emit(b"s%d:" % len(data))
+        emit(data)
+    elif type(value) is float:
+        emit(b"f" + repr(value).encode())
+    elif type(value) is bytes:
+        emit(b"b%d:" % len(value))
+        emit(value)
+    elif isinstance(value, (list, tuple)):
+        emit(b"l%d:" % len(value))
+        for v in value:
+            _encode_into(v, emit)
+    elif isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        emit(b"d%d:" % len(items))
+        for k, v in items:
+            _encode_into(k, emit)
+            _encode_into(v, emit)
+    elif isinstance(value, bool):  # bool subclasses with odd identity
+        emit(b"T" if value else b"F")
+    elif isinstance(value, int):  # int subclasses (enum.IntEnum, ...)
+        emit(b"i" + str(value).encode())
+    elif isinstance(value, float):
+        emit(b"f" + repr(value).encode())
+    elif isinstance(value, str):
+        data = value.encode()
+        emit(b"s%d:" % len(data))
+        emit(data)
+    elif isinstance(value, bytes):
+        emit(b"b%d:" % len(value))
+        emit(value)
+    else:
+        # Fall back to the object's stable string form (e.g. enums,
+        # dataclasses that define __repr__); used only for trace metadata,
+        # never consensus.
+        emit(b"o" + repr(value).encode())
 
 
 def _canonical(value: Any) -> bytes:
     """Deterministic byte encoding of nested tuples/lists/dicts/scalars."""
-    if value is None:
-        return b"N"
-    if isinstance(value, bool):
-        return b"T" if value else b"F"
-    if isinstance(value, int):
-        return b"i" + str(value).encode()
-    if isinstance(value, float):
-        return b"f" + repr(value).encode()
-    if isinstance(value, str):
-        data = value.encode()
-        return b"s" + str(len(data)).encode() + b":" + data
-    if isinstance(value, bytes):
-        return b"b" + str(len(value)).encode() + b":" + value
-    if isinstance(value, (list, tuple)):
-        inner = b"".join(_canonical(v) for v in value)
-        return b"l" + str(len(value)).encode() + b":" + inner
-    if isinstance(value, dict):
-        items = sorted(value.items(), key=lambda kv: str(kv[0]))
-        inner = b"".join(_canonical(k) + _canonical(v) for k, v in items)
-        return b"d" + str(len(items)).encode() + b":" + inner
-    # Fall back to the object's stable string form (e.g. enums, dataclasses
-    # that define __repr__); used only for trace metadata, never consensus.
-    return b"o" + repr(value).encode()
+    parts: list[bytes] = []
+    _encode_into(value, parts.append)
+    return b"".join(parts)
 
 
 def sha256_hex(data: bytes) -> str:
@@ -48,7 +86,7 @@ def digest_of(*parts: Any) -> str:
     """SHA-256 over the canonical encoding of ``parts``."""
     h = hashlib.sha256()
     for part in parts:
-        h.update(_canonical(part))
+        _encode_into(part, h.update)
     return h.hexdigest()
 
 

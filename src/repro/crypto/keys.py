@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable
 
 from repro.errors import CryptoError
@@ -25,6 +26,12 @@ class PublicKey:
     owner: int
     commitment: str
 
+    @cached_property
+    def _mac_template(self) -> "hmac.HMAC":
+        # Keying an HMAC costs two hash-block compressions; verification is
+        # on the simulator's hot path, so key once and ``copy()`` per tag.
+        return hmac.new(self.commitment.encode(), None, hashlib.sha256)
+
     def verify_tag(self, payload: bytes, tag: str) -> bool:
         """Check a tag produced by the matching :class:`PrivateKey`.
 
@@ -32,8 +39,9 @@ class PublicKey:
         without the secret would require inverting the commitment, which the
         simulation adversary is not given an API to do.
         """
-        expected = hmac.new(self.commitment.encode(), payload, hashlib.sha256).hexdigest()
-        return hmac.compare_digest(expected, tag)
+        mac = self._mac_template.copy()
+        mac.update(payload)
+        return hmac.compare_digest(mac.hexdigest(), tag)
 
 
 @dataclass(frozen=True)
@@ -43,14 +51,23 @@ class PrivateKey:
     owner: int
     _secret: bytes = field(repr=False)
 
+    @cached_property
+    def _commitment(self) -> str:
+        return hashlib.sha256(b"commit:" + self._secret).hexdigest()
+
+    @cached_property
+    def _mac_template(self) -> "hmac.HMAC":
+        return hmac.new(self._commitment.encode(), None, hashlib.sha256)
+
     def commitment(self) -> str:
         """Public commitment used by verifiers."""
-        return hashlib.sha256(b"commit:" + self._secret).hexdigest()
+        return self._commitment
 
     def sign_tag(self, payload: bytes) -> str:
         """Produce the authentication tag over ``payload``."""
-        key = self.commitment().encode()
-        return hmac.new(key, payload, hashlib.sha256).hexdigest()
+        mac = self._mac_template.copy()
+        mac.update(payload)
+        return mac.hexdigest()
 
 
 @dataclass(frozen=True)

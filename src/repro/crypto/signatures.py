@@ -15,7 +15,7 @@ transition (modelled in :mod:`repro.tee.enclave`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.crypto.hashing import digest_of
 from repro.crypto.keys import Keyring, PrivateKey
@@ -68,26 +68,47 @@ class Signature:
         return self.signer
 
 
-def sign(private: PrivateKey, *message_parts: object) -> Signature:
-    """Sign the canonical digest of ``message_parts``."""
-    digest = digest_of(*message_parts)
+def sign(private: PrivateKey, *message_parts: object,
+         digest: Optional[str] = None) -> Signature:
+    """Sign the canonical digest of ``message_parts``.
+
+    Callers that already hold the message digest (certificates cache the
+    digest of their signed statement) pass ``digest=`` to skip re-deriving
+    it — the hot-path loops verify/sign the same statement many times.
+    """
+    if digest is None:
+        digest = digest_of(*message_parts)
     tag = private.sign_tag(digest.encode())
     return Signature(signer=private.owner, digest=digest, tag=tag)
 
 
-def verify(keyring: Keyring, signature: Signature, *message_parts: object) -> bool:
+def verify(keyring: Keyring, signature: Signature, *message_parts: object,
+           digest: Optional[str] = None) -> bool:
     """Verify ``signature`` against ``message_parts`` under the PKI.
 
     Returns False (never raises) for wrong-message, wrong-signer, or forged
     tags; raises :class:`InvalidSignature` only via :func:`require_valid`.
+    ``digest=`` skips the canonicalization when the caller already derived
+    the message digest (see :func:`sign`).
     """
     if signature.signer not in keyring:
         return False
-    digest = digest_of(*message_parts)
+    if digest is None:
+        digest = digest_of(*message_parts)
     if digest != signature.digest:
         return False
     public = keyring.public_key(signature.signer)
-    return public.verify_tag(digest.encode(), signature.tag)
+    # Memoize the tag check per (signature, public key): every node in a
+    # cluster validates the same shared certificate objects, so the HMAC
+    # for each signature only needs computing once.  Safe because the
+    # payload is signature.digest (frozen) and the memo is keyed on the
+    # exact PublicKey object by identity.
+    memo = signature.__dict__.get("_tag_memo")
+    if memo is not None and memo[0] is public:
+        return memo[1]
+    ok = public.verify_tag(digest.encode(), signature.tag)
+    object.__setattr__(signature, "_tag_memo", (public, ok))
+    return ok
 
 
 def require_valid(keyring: Keyring, signature: Signature, *message_parts: object) -> None:
@@ -122,7 +143,8 @@ class SignatureList:
 
     def verify_all(self, keyring: Keyring, *message_parts: object) -> bool:
         """True iff every member signature verifies over ``message_parts``."""
-        return all(verify(keyring, s, *message_parts) for s in self.signatures)
+        digest = digest_of(*message_parts)
+        return all(verify(keyring, s, digest=digest) for s in self.signatures)
 
 
 def verify_distinct(
@@ -132,8 +154,9 @@ def verify_distinct(
     *message_parts: object,
 ) -> bool:
     """True iff ≥ ``threshold`` *distinct* signers validly signed the message."""
+    digest = digest_of(*message_parts)
     valid_signers = {
-        s.signer for s in signatures if verify(keyring, s, *message_parts)
+        s.signer for s in signatures if verify(keyring, s, digest=digest)
     }
     return len(valid_signers) >= threshold
 

@@ -10,7 +10,10 @@ committed block.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Sequence
 
+from repro.harness.parallel import parallel_map, run_experiments
 from repro.harness.runner import PROTOCOLS, run_experiment
 
 
@@ -60,6 +63,14 @@ def measure_protocol(protocol: str, f: int = 2, seed: int = 1) -> ProtocolProfil
     )
 
 
+def measure_protocols(
+    protocols: Sequence[str], f: int = 2, seed: int = 1
+) -> list[ProtocolProfile]:
+    """Measure several protocols' Table 1 rows, fanned over worker
+    processes (:mod:`repro.harness.parallel`); results in input order."""
+    return parallel_map(partial(measure_protocol, f=f, seed=seed), protocols)
+
+
 def _counter_writes_per_commit(protocol: str, f: int, seed: int) -> float:
     """Re-run briefly with introspection to count counter writes."""
     from repro.client.workload import SaturatedSource
@@ -101,14 +112,18 @@ def messages_linear_in_n(protocol: str, fs=(2, 4, 8), seed: int = 1) -> list[tup
     FlexiBFT it grows quadratically — the Table 1 complexity column,
     verified empirically in ``tests/integration/test_complexity.py``.
     """
-    points = []
-    for f in fs:
-        result = run_experiment(
-            protocol, f=f, network="LAN", batch_size=50, payload_size=64,
-            duration_ms=600.0, warmup_ms=100.0, seed=seed,
-        )
-        points.append((result.n, result.messages_sent / max(1, result.blocks_committed)))
-    return points
+    results = run_experiments([
+        dict(protocol=protocol, f=f, network="LAN", batch_size=50,
+             payload_size=64, duration_ms=600.0, warmup_ms=100.0, seed=seed)
+        for f in fs
+    ])
+    return [(r.n, r.messages_sent / max(1, r.blocks_committed)) for r in results]
 
 
-__all__ = ["ProtocolProfile", "STATIC_FACTS", "measure_protocol", "messages_linear_in_n"]
+__all__ = [
+    "ProtocolProfile",
+    "STATIC_FACTS",
+    "measure_protocol",
+    "measure_protocols",
+    "messages_linear_in_n",
+]

@@ -10,14 +10,16 @@ stable means.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Sequence
 
 from repro.consensus.config import ProtocolConfig
 from repro.core.protocol import build_achilles_cluster
 from repro.client.workload import SaturatedSource
 from repro.faults.crash import crash_and_reboot
 from repro.harness.metrics import MetricsCollector
-from repro.harness.runner import ExperimentResult, run_experiment
+from repro.harness.parallel import parallel_map, run_experiments
+from repro.harness.runner import ExperimentResult
 from repro.net.latency import LAN_PROFILE, WAN_PROFILE
 
 #: The four protocols Fig. 3/4 compare.
@@ -48,17 +50,17 @@ def fig3_fault_sweep(
     seed: int = 1,
 ) -> list[ExperimentResult]:
     """Fig. 3a/3b (WAN) and 3c/3d (LAN): vary the fault threshold."""
-    results = []
+    configs = []
     for protocol in protocols:
         for f in faults:
             n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
             duration, warmup = _window(network, n)
-            results.append(run_experiment(
-                protocol, f=f, network=network,
+            configs.append(dict(
+                protocol=protocol, f=f, network=network,
                 batch_size=batch_size, payload_size=payload_size,
                 duration_ms=duration, warmup_ms=warmup, seed=seed,
             ))
-    return results
+    return run_experiments(configs)
 
 
 def fig3_payload_sweep(
@@ -70,17 +72,17 @@ def fig3_payload_sweep(
     seed: int = 1,
 ) -> list[ExperimentResult]:
     """Fig. 3e/3f (WAN) and 3g/3h (LAN): vary the transaction payload."""
-    results = []
+    configs = []
     for protocol in protocols:
         for payload in payloads:
             n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
             duration, warmup = _window(network, n)
-            results.append(run_experiment(
-                protocol, f=f, network=network,
+            configs.append(dict(
+                protocol=protocol, f=f, network=network,
                 batch_size=batch_size, payload_size=payload,
                 duration_ms=duration, warmup_ms=warmup, seed=seed,
             ))
-    return results
+    return run_experiments(configs)
 
 
 def fig3_batch_sweep(
@@ -92,17 +94,17 @@ def fig3_batch_sweep(
     seed: int = 1,
 ) -> list[ExperimentResult]:
     """Fig. 3i/3j (WAN) and 3k/3l (LAN): vary the batch size."""
-    results = []
+    configs = []
     for protocol in protocols:
         for batch in batches:
             n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
             duration, warmup = _window(network, n)
-            results.append(run_experiment(
-                protocol, f=f, network=network,
+            configs.append(dict(
+                protocol=protocol, f=f, network=network,
                 batch_size=batch, payload_size=payload_size,
                 duration_ms=duration, warmup_ms=warmup, seed=seed,
             ))
-    return results
+    return run_experiments(configs)
 
 
 def fig4_latency_vs_throughput(
@@ -118,20 +120,19 @@ def fig4_latency_vs_throughput(
     Each row reports achieved throughput and end-to-end latency at one
     offered load; past saturation, throughput plateaus and latency climbs.
     """
-    results = []
+    configs = []
     for protocol in protocols:
         for rate in rates_tps:
             n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
             duration, warmup = _window("LAN", n)
-            result = run_experiment(
-                protocol, f=f, network="LAN",
+            configs.append(dict(
+                protocol=protocol, f=f, network="LAN",
                 batch_size=batch_size, payload_size=payload_size,
                 duration_ms=duration, warmup_ms=warmup, seed=seed,
                 offered_load_tps=rate,
-            )
-            result.extras["offered_load_tps"] = rate
-            results.append(result)
-    return results
+                extras={"offered_load_tps": rate},
+            ))
+    return run_experiments(configs)
 
 
 def fig5_counter_sweep(
@@ -146,20 +147,48 @@ def fig5_counter_sweep(
 
     At 0 ms the rows show the protocols *without* rollback prevention.
     """
-    results = []
+    configs = []
     for protocol in protocols:
         for write_ms in write_latencies_ms:
             n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
             duration, warmup = _window("LAN", n)
-            result = run_experiment(
-                protocol, f=f, network="LAN",
+            configs.append(dict(
+                protocol=protocol, f=f, network="LAN",
                 batch_size=batch_size, payload_size=payload_size,
                 counter_write_ms=write_ms,
                 duration_ms=duration, warmup_ms=warmup, seed=seed,
-            )
-            result.extras["counter_write_ms"] = write_ms
-            results.append(result)
-    return results
+                extras={"counter_write_ms": write_ms},
+            ))
+    return run_experiments(configs)
+
+
+def _table2_row(n: int, seed: int = 1) -> dict:
+    """One Table 2 row (module-level so it pickles into pool workers)."""
+    f = (n - 1) // 2
+    config = ProtocolConfig.tee_committee(
+        f=f, batch_size=100, payload_size=64, seed=seed
+    )
+    collector = MetricsCollector(warmup_ms=0.0)
+    cluster = build_achilles_cluster(
+        f=f, latency=LAN_PROFILE, config=config,
+        source_factory=lambda sim: SaturatedSource(sim, payload_size=64),
+        listener=collector, seed=seed,
+    )
+    cluster.sim.trace.enabled = False
+    victim = 2 % n if n > 2 else 0
+    crash_and_reboot(cluster, victim, at_ms=150.0, downtime_ms=20.0)
+    cluster.start()
+    cluster.run(600.0)
+    cluster.assert_safety()
+    node = cluster.nodes[victim]
+    episode = node.recovery_episodes[-1] if node.recovery_episodes else None
+    return {
+        "nodes": n,
+        "initialization_ms": episode.init_ms if episode else float("nan"),
+        "recovery_ms": episode.protocol_ms if episode else float("nan"),
+        "total_ms": episode.total_ms if episode else float("nan"),
+        "recovered": episode is not None,
+    }
 
 
 def table2_recovery_breakdown(
@@ -170,34 +199,7 @@ def table2_recovery_breakdown(
 
     One node reboots mid-run; we report its recovery episode's breakdown.
     """
-    rows = []
-    for n in node_counts:
-        f = (n - 1) // 2
-        config = ProtocolConfig.tee_committee(
-            f=f, batch_size=100, payload_size=64, seed=seed
-        )
-        collector = MetricsCollector(warmup_ms=0.0)
-        cluster = build_achilles_cluster(
-            f=f, latency=LAN_PROFILE, config=config,
-            source_factory=lambda sim: SaturatedSource(sim, payload_size=64),
-            listener=collector, seed=seed,
-        )
-        cluster.sim.trace.enabled = False
-        victim = 2 % n if n > 2 else 0
-        crash_and_reboot(cluster, victim, at_ms=150.0, downtime_ms=20.0)
-        cluster.start()
-        cluster.run(600.0)
-        cluster.assert_safety()
-        node = cluster.nodes[victim]
-        episode = node.recovery_episodes[-1] if node.recovery_episodes else None
-        rows.append({
-            "nodes": n,
-            "initialization_ms": episode.init_ms if episode else float("nan"),
-            "recovery_ms": episode.protocol_ms if episode else float("nan"),
-            "total_ms": episode.total_ms if episode else float("nan"),
-            "recovered": episode is not None,
-        })
-    return rows
+    return parallel_map(partial(_table2_row, seed=seed), node_counts)
 
 
 def table3_overhead_profiling(
@@ -208,16 +210,16 @@ def table3_overhead_profiling(
     seed: int = 1,
 ) -> list[ExperimentResult]:
     """Table 3: Achilles vs Achilles-C vs BRaft peak throughput/latency, LAN."""
-    results = []
+    configs = []
     for protocol in protocols:
         for f in faults:
             duration, warmup = _window("LAN", 2 * f + 1)
-            results.append(run_experiment(
-                protocol, f=f, network="LAN",
+            configs.append(dict(
+                protocol=protocol, f=f, network="LAN",
                 batch_size=batch_size, payload_size=payload_size,
                 duration_ms=duration, warmup_ms=warmup, seed=seed,
             ))
-    return results
+    return run_experiments(configs)
 
 
 def table4_counter_latencies(samples: int = 200) -> list[dict]:

@@ -17,12 +17,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Events are compared by ``(time, seq)`` only; the callback and its
-    metadata are excluded from ordering.
+    metadata are excluded from ordering.  Slotted: the simulator creates
+    one per scheduled callback, hundreds of thousands per experiment.
     """
 
     time: float
@@ -30,17 +31,30 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
-        """Mark the event so the loop skips it (O(1) lazy deletion)."""
-        self.cancelled = True
+        """Mark the event so the loop skips it (O(1) lazy deletion).
+
+        A no-op once the event has fired: cancelling a handle whose
+        callback already ran must not perturb queue bookkeeping.
+        """
+        if not self.fired:
+            self.cancelled = True
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Internally the heap holds ``(time, seq, event)`` tuples rather than the
+    events themselves: ``seq`` is unique, so heapify never reaches the third
+    element and every sift comparison is a C-level float/int compare instead
+    of a call into the dataclass-generated ``Event.__lt__`` (which dominated
+    simulator profiles).  Ordering is unchanged — ``(time, seq)`` either way.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._live = 0
 
@@ -52,17 +66,23 @@ class EventQueue:
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Insert a callback to fire at ``time``; returns a cancellable handle."""
-        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time=time, seq=seq, callback=callback, label=label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or ``None``."""
+        """Remove and return the earliest non-cancelled event, or ``None``.
+
+        The returned event is marked ``fired`` so a later ``cancel`` of its
+        handle cannot corrupt the live count (see :meth:`note_cancelled`).
+        """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if event.cancelled:
                 continue
+            event.fired = True
             self._live -= 1
             return event
         self._live = 0
@@ -70,13 +90,19 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def note_cancelled(self) -> None:
         """Bookkeeping hook: an event handle obtained from :meth:`push` was
-        cancelled externally."""
+        cancelled externally.
+
+        Callers must only invoke this for events that were actually live
+        (not yet fired, not already cancelled) — :meth:`Simulator.cancel`
+        guards on ``event.fired`` before calling.
+        """
         self._live = max(0, self._live - 1)
 
 

@@ -47,8 +47,14 @@ class Simulator:
         return self.queue.push(time, callback, label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event; safe to call on already-fired events."""
-        if not event.cancelled:
+        """Cancel a pending event; a no-op on already-fired events.
+
+        Guarding on ``fired`` keeps the queue's live count exact: before
+        this check, cancelling a handle whose callback had already run
+        decremented the count for an event no longer in the heap, skewing
+        ``len(queue)`` for the rest of the run.
+        """
+        if not event.cancelled and not event.fired:
             event.cancel()
             self.queue.note_cancelled()
 

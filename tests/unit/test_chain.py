@@ -177,6 +177,39 @@ class TestExecution:
         assert execute_transactions(txs, "p1") != execute_transactions(txs, "p2")
         assert execute_transactions(txs, "p") != execute_transactions(txs[::-1], "p")
 
+    def test_execute_matches_generic_digest_chain(self):
+        # execute_transactions inlines the canonical encoding of
+        # digest_of(root, tx.key, tx.payload) for speed; pin it against
+        # the generic chain, including empty and multi-byte payloads.
+        from repro.crypto.hashing import digest_of
+
+        txs = (
+            make_tx(1, "SET a 1"),
+            make_tx(2, ""),
+            make_tx(3, "héllo ⚡ wörld"),
+            make_tx(4, "opaque payload"),
+        )
+        expected = digest_of("exec", "parent")
+        for tx in txs:
+            expected = digest_of(expected, tx.key, tx.payload)
+        assert execute_transactions(txs, "parent") == expected
+        assert execute_transactions((), "parent") == digest_of("exec", "parent")
+
+    def test_block_hash_matches_generic_encoding(self):
+        # Block.hash inlines the tx-digest encoding; pin it against the
+        # generic digest_of formulation it replaced.
+        from repro.chain.block import Block
+        from repro.crypto.hashing import digest_of
+
+        txs = (make_tx(1, "SET a 1"), make_tx(2, ""), make_tx(3, "ünïcode"))
+        block = Block(txs=txs, op="op", parent_hash="p" * 64, view=2,
+                      height=5, proposer=1)
+        tx_digest = digest_of([t.key + (t.payload,) for t in txs])
+        assert block.hash == digest_of(
+            tx_digest, block.op, block.parent_hash, block.view,
+            block.height, block.proposer,
+        )
+
     def test_kv_machine_applies_sets(self):
         kv = KVStateMachine()
         kv.apply(make_tx(1, "SET name achilles"))

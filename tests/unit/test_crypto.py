@@ -43,6 +43,47 @@ class TestHashing:
     def test_genesis_hash_is_stable(self):
         assert len(GENESIS_HASH) == 64
 
+    def test_canonical_encoding_golden_bytes(self):
+        # The canonical encoding is observable behaviour (digests feed
+        # signed statements); pin the exact bytes so the streaming
+        # encoder can never drift from the format silently.
+        from repro.crypto.hashing import _canonical
+
+        assert _canonical(None) == b"N"
+        assert _canonical(True) == b"T"
+        assert _canonical(False) == b"F"
+        assert _canonical(7) == b"i7"
+        assert _canonical(-3) == b"i-3"
+        assert _canonical(1.5) == b"f1.5"
+        assert _canonical("ab") == b"s2:ab"
+        assert _canonical("é") == b"s2:\xc3\xa9"  # byte length, not chars
+        assert _canonical(b"\x00\xff") == b"b2:\x00\xff"
+        assert _canonical([1, "a"]) == b"l2:i1s1:a"
+        assert _canonical((1, "a")) == b"l2:i1s1:a"  # tuples == lists
+        assert _canonical({"b": 2, "a": 1}) == b"d2:s1:ai1s1:bi2"
+        assert _canonical([]) == b"l0:"
+
+    def test_canonical_handles_int_subclasses(self):
+        import enum
+
+        from repro.crypto.hashing import _canonical
+
+        class Kind(enum.IntEnum):
+            PREPARE = 1
+
+        assert _canonical(Kind.PREPARE) == _canonical(1) == b"i1"
+
+    def test_digest_streaming_matches_joined_encoding(self):
+        # digest_of streams parts into the hash; it must equal hashing
+        # the concatenated canonical encodings.
+        import hashlib
+
+        from repro.crypto.hashing import _canonical
+
+        parts = ("COMMIT", {"h": 3}, [1, (2, b"x")], 4.25, None)
+        joined = b"".join(_canonical(p) for p in parts)
+        assert digest_of(*parts) == hashlib.sha256(joined).hexdigest()
+
 
 class TestKeys:
     def test_generate_deterministic(self):
@@ -138,6 +179,43 @@ class TestCryptoProfile:
         p = CryptoProfile.free()
         assert p.verify_many(100) == 0.0
         assert p.hash_cost(10**6) == 0.0
+
+    def test_verify_many_edge_counts(self):
+        # Pins verify_many(0/1/n): zero (and negative) counts are free, a
+        # single verification costs exactly verify_ms (the batch floor must
+        # not leak into the count=1 case), and each further signature adds
+        # the amortized per-signature cost.
+        p = CryptoProfile(sign_ms=0.04, verify_ms=0.1, hash_per_kb_ms=0.01,
+                          verify_batch_floor=0.05)
+        assert p.verify_many(-2) == 0.0
+        assert p.verify_many(0) == 0.0
+        assert p.verify_many(1) == pytest.approx(p.verify_ms)
+        assert p.verify_many(2) - p.verify_many(1) == pytest.approx(0.085)
+
+    def test_verify_many_batch_floor_binds(self):
+        # When 85% of verify_ms dips below the floor, the floor is charged
+        # for every signature after the first.
+        p = CryptoProfile(sign_ms=0.01, verify_ms=0.02, hash_per_kb_ms=0.01,
+                          verify_batch_floor=0.05)
+        assert p.verify_many(1) == pytest.approx(0.02)
+        assert p.verify_many(4) == pytest.approx(0.02 + 3 * 0.05)
+
+    def test_default_profile_verify_many(self):
+        # The default profile (sign 0.025, verify 0.05, floor 0.02) uses
+        # the 85% amortized rate, since 0.0425 > floor.
+        p = CryptoProfile()
+        assert p.verify_many(1) == pytest.approx(0.05)
+        assert p.verify_many(10) == pytest.approx(0.05 + 9 * 0.0425)
+
+    def test_hash_cost_is_linear_in_bytes(self):
+        p = CryptoProfile(sign_ms=0.04, verify_ms=0.1, hash_per_kb_ms=0.01,
+                          verify_batch_floor=0.05)
+        assert p.hash_cost(0) == 0.0
+        assert p.hash_cost(1024) == pytest.approx(0.01)
+        # fractional kilobytes are charged pro rata, not rounded
+        assert p.hash_cost(512) == pytest.approx(0.005)
+        assert p.hash_cost(1536) == pytest.approx(
+            p.hash_cost(1024) + p.hash_cost(512))
 
 
 class TestQuorum:

@@ -57,6 +57,49 @@ class TestEventQueue:
         q.note_cancelled()
         assert q.peek_time() == 2.0
 
+    def test_pop_marks_event_fired(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        assert not handle.fired
+        assert q.pop() is handle
+        assert handle.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        # Regression: cancelling a handle whose callback already ran used
+        # to mark it cancelled and (via note_cancelled) decrement the live
+        # count for an event no longer in the heap, skewing len(queue).
+        q = EventQueue()
+        fired_handle = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop()
+        fired_handle.cancel()
+        assert not fired_handle.cancelled
+        assert len(q) == 1
+
+    def test_live_count_survives_cancel_of_fired_event(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        sim.step()  # fires `handle`
+        assert len(sim.queue) == 2
+        sim.cancel(handle)  # must be a no-op: event already fired
+        assert len(sim.queue) == 2
+        sim.cancel(handle)  # idempotent
+        assert len(sim.queue) == 2
+        while sim.step():
+            pass
+        assert len(sim.queue) == 0
+
+    def test_double_cancel_decrements_live_once(self):
+        sim = Simulator()
+        victim = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(victim)
+        assert len(sim.queue) == 1
+        sim.cancel(victim)  # second cancel of a pending event: no-op
+        assert len(sim.queue) == 1
+
     def test_empty_queue(self):
         q = EventQueue()
         assert q.pop() is None
