@@ -6,10 +6,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench perf ci
+.PHONY: test bench-quick bench perf chaos chaos-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
+
+# Full seeded chaos campaign: crashes + rollback attacks + partitions +
+# client churn across the default protocol set, every run checked by the
+# always-on invariant monitors.  A failing seed prints its exact
+# `repro chaos --seed ...` reproduction command.
+chaos:
+	$(PYTHON) -m repro chaos --seeds 20
+
+# Small deterministic slice of the above for CI.
+chaos-smoke:
+	$(PYTHON) -m repro chaos --seeds 3 --duration 2500 --quiesce 1000
 
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest -q benchmarks/ --benchmark-only

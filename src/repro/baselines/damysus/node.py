@@ -119,7 +119,8 @@ class DamysusNode(ReplicaBase):
             node_id=node_id, n=config.n, f=config.f,
             private_key=keypair.private, keyring=keyring,
             profile=config.enclave, crypto=config.crypto,
-            counter=config.make_counter() if config.counter_factory else None,
+            counter=(config.make_counter(sim.fork_rng(f"counter/{node_id}"))
+                     if config.counter_factory else None),
         )
         self.accumulator = AchillesAccumulator(
             node_id=node_id, f=config.f,
@@ -145,10 +146,32 @@ class DamysusNode(ReplicaBase):
         try:
             cert = self.checker.tee_new_view()
         except EnclaveAbort:
+            # Same stall as Achilles' TEEview path: re-arm so the replica
+            # keeps retrying at the current backoff instead of going quiet.
+            self.pacemaker.rearm()
             return
         finally:
             self.charge_enclave(self.checker)
         self.view = cert.current_view
+        self.pacemaker.view_started(self.view)
+        # Broadcast so peers behind this view can fast-forward to it (see
+        # AchillesNode._sync_to_view for the divergent-backoff failure).
+        self.broadcast(DNewView(cert), include_self=True)
+
+    def _sync_to_view(self, target_view: int) -> None:
+        """Fast-forward the checker to ``target_view`` off a peer's
+        certificate, reuniting divergent views in one place."""
+        cert = None
+        while self.view < target_view:
+            try:
+                cert = self.checker.tee_new_view()
+            except EnclaveAbort:
+                return
+            finally:
+                self.charge_enclave(self.checker)
+            self.view = cert.current_view
+        if cert is None:
+            return
         self.pacemaker.view_started(self.view)
         self.send_to(self.leader_of(self.view), DNewView(cert))
 
@@ -164,6 +187,11 @@ class DamysusNode(ReplicaBase):
         # Re-verified (and charged) inside the accumulator ECALL.
         if not cert.validate(self.keyring):
             return
+        # One view ahead is the normal chained handoff; two or more means
+        # views diverged (crashes + backoff drift) and we must fast-forward
+        # or the committee never reassembles f+1 certificates in one view.
+        if cert.current_view > self.view + 1:
+            self.run_work(lambda: self._sync_to_view(cert.current_view))
         if not self.is_leader(cert.current_view):
             return
         bucket = self._view_certs.setdefault(cert.current_view, {})
@@ -375,6 +403,9 @@ class DamysusNode(ReplicaBase):
                 self.with_full_ancestry(block, lambda b: self._apply_decide(qc))
                 return
             self.commit_block(block)
+            notify_qc = getattr(self.listener, "on_commit_certificate", None)
+            if notify_qc is not None:
+                notify_qc(self.node_id, qc, self.sim.now)
             self.pacemaker.progress()
         next_view = qc.view + 1
         if next_view > self.view:

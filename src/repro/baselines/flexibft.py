@@ -149,7 +149,8 @@ class FlexiBFTNode(ReplicaBase):
             node_id=node_id, n=config.n,
             private_key=keypair.private, keyring=keyring,
             profile=config.enclave, crypto=config.crypto,
-            counter=config.make_counter() if config.counter_factory else None,
+            counter=(config.make_counter(sim.fork_rng(f"counter/{node_id}"))
+                     if config.counter_factory else None),
         )
         self.view = 0  # leader epoch: leader = view % n (stable until VC)
         self._votes: dict[tuple[str, int], dict[int, FVote]] = {}

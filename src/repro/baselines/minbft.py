@@ -107,12 +107,19 @@ class MinBFTNode(ReplicaBase):
         self.usig = Usig(
             node_id=node_id, private_key=keypair.private, keyring=keyring,
             profile=config.enclave, crypto=config.crypto,
-            counter=config.make_counter() if config.counter_factory else None,
+            counter=(config.make_counter(sim.fork_rng(f"counter/{node_id}"))
+                     if config.counter_factory else None),
         )
         self.view = 0  # leader epoch: leader = view % n, stable until VC
         self._prepares: dict[str, MPrepare] = {}       # digest -> prepare
         self._commit_uis: dict[str, set[int]] = {}     # digest -> nodes
         self._executed: set[str] = set()
+        # height -> block hash this node UI-certified at that height.
+        # UI-certifying two *different* blocks at one height would let two
+        # f+1 commit quorums form on conflicting blocks (their intersection
+        # node signed both) — the certification rule below refuses that.
+        # Kept with the USIG's sealed TrInc state, so it survives reboots.
+        self._certified: dict[int, str] = {}
         self._vc_votes: dict[int, set[int]] = {}
         self._outstanding: Optional[str] = None        # digest in flight
         self._batch_timer = self.timer("batch_wait")
@@ -132,26 +139,40 @@ class MinBFTNode(ReplicaBase):
     def _prepare_next(self) -> None:
         if not self.is_leader(self.view) or self._outstanding is not None:
             return
-        txs = self.make_batch()
-        if not txs and not self.config.allow_empty_blocks:
-            self._batch_timer.start(
-                self.config.batch_wait_ms,
-                lambda: self.run_work(self._prepare_next),
-            )
-            return
-        self._batch_timer.cancel()
         parent = self.store.committed_tip
-        op = execute_transactions(txs, parent.hash)
-        self.charge(self.config.costs.exec_cost(len(txs)))
-        block = create_leaf(txs, op, parent, view=self.view, proposer=self.node_id)
+        pending_hash = self._certified.get(parent.height + 1)
+        if pending_hash is not None:
+            # We already UI-certified a block at the next height (taken
+            # over from the previous leader).  Re-propose *that* block —
+            # proposing a different one at the same height would be our
+            # own equivocation.
+            pending = self.store.get(pending_hash)
+            if pending is None or pending.parent_hash != parent.hash:
+                return  # off our committed chain; let the leader rotate
+            block = pending
+        else:
+            txs = self.make_batch()
+            if not txs and not self.config.allow_empty_blocks:
+                self._batch_timer.start(
+                    self.config.batch_wait_ms,
+                    lambda: self.run_work(self._prepare_next),
+                )
+                return
+            self._batch_timer.cancel()
+            op = execute_transactions(txs, parent.hash)
+            self.charge(self.config.costs.exec_cost(len(txs)))
+            block = create_leaf(txs, op, parent, view=self.view,
+                                proposer=self.node_id)
         prepare_digest = digest_of("mprep", self.view, block.hash)
         try:
             ui = self.usig.create_ui(prepare_digest)
         except EnclaveAbort:
-            self.requeue_batch(txs)
+            if pending_hash is None:
+                self.requeue_batch(txs)
             return
         finally:
             self.charge_enclave(self.usig)
+        self._certified[block.height] = block.hash
         prepare = MPrepare(view=self.view, block=block, ui=ui)
         self._outstanding = prepare_digest
         self._prepares[prepare_digest] = prepare
@@ -170,6 +191,11 @@ class MinBFTNode(ReplicaBase):
             return
         if msg.ui.node != self.leader_of(msg.view) or src != msg.ui.node:
             return
+        if msg.block.height <= self.store.committed_tip.height:
+            return  # stale: this height is already settled
+        certified = self._certified.get(msg.block.height)
+        if certified is not None and certified != msg.block.hash:
+            return  # signing this UI would equivocate at msg.block.height
         digest = msg.digest()
         self.charge(self.config.crypto.hash_cost(msg.block.wire_size()))
         try:
@@ -193,6 +219,7 @@ class MinBFTNode(ReplicaBase):
             return
         finally:
             self.charge_enclave(self.usig)
+        self._certified[msg.block.height] = msg.block.hash
         commit = MCommit(view=msg.view, block_hash=msg.block.hash,
                          prepare_digest=digest, ui=my_ui)
         self.broadcast(commit)
@@ -235,7 +262,18 @@ class MinBFTNode(ReplicaBase):
             return
         self._executed.add(digest)
         if not self.store.is_committed(block.hash):
+            if block.height <= self.store.committed_tip.height:
+                # Superseded: while we lagged (partition, crash) the
+                # quorum committed a *different* block at this height and
+                # a checkpoint catch-up already advanced our tip past it.
+                self._commit_uis.pop(digest, None)
+                if self._outstanding == digest:
+                    self._outstanding = None
+                return
             self.commit_block(block)
+        tip_height = self.store.committed_tip.height
+        for height in [h for h in self._certified if h <= tip_height]:
+            del self._certified[height]
         self.pacemaker.progress()
         self.pacemaker.view_started(self.view)
         self._commit_uis.pop(digest, None)
@@ -243,6 +281,32 @@ class MinBFTNode(ReplicaBase):
             self._outstanding = None
         if self.is_leader(self.view):
             self.after(0.0, lambda: self.run_work(self._prepare_next))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reboot(self) -> None:
+        """Resume after a crash.
+
+        The USIG's monotonic counter is persistent (TrInc), so the node
+        rejoins with its UI sequence intact; everything host-side is
+        volatile.  In-flight prepares and partial commit quorums are
+        gone (anything the quorum finished meanwhile comes back through
+        block sync / checkpoint catch-up), and so is every timer — most
+        importantly the pacemaker.  A rebooted node whose pacemaker
+        never re-arms can never vote a view change, which wedges an
+        f=1 committee for good.
+        """
+        super().reboot()
+        self._prepares.clear()
+        self._commit_uis.clear()
+        self._executed.clear()
+        self._vc_votes.clear()
+        self._outstanding = None
+        self._batch_timer.cancel()
+        self.pacemaker.view_started(self.view)
+        if self.is_leader(self.view):
+            self.run_work(self._prepare_next)
 
     # ------------------------------------------------------------------
     # View change (simplified leader replacement)
@@ -273,6 +337,18 @@ class MinBFTNode(ReplicaBase):
             return
         voters = self._vc_votes.setdefault(msg.new_view, set())
         voters.add(msg.signature.signer)
+        if self.node_id not in voters:
+            # Join the proposed view (PBFT-style echo): nodes whose
+            # timeouts diverged would otherwise each vote only for their
+            # own view+1 and never assemble f+1 votes on any single view.
+            # Safety is unaffected — the view number is just a leader
+            # epoch; equivocation is prevented by the USIG.
+            voters.add(self.node_id)
+            self.charge_sign(1)
+            self.broadcast(MViewChange(
+                new_view=msg.new_view,
+                signature=sign(self.keypair.private, "MVC", msg.new_view),
+            ))
         if len(voters) < self.config.f + 1:
             return
         self.view = msg.new_view

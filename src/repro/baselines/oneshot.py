@@ -303,7 +303,8 @@ class OneShotNode(AchillesNode):
             node_id=self.node_id, n=self.config.n, f=self.config.f,
             private_key=self.keypair.private, keyring=self.keyring,
             profile=self.config.enclave, crypto=self.config.crypto,
-            counter=self.config.make_counter() if self.config.counter_factory else None,
+            counter=(self.config.make_counter(self.sim.fork_rng(f"counter/{self.node_id}"))
+                     if self.config.counter_factory else None),
         )
         self._pre_votes: dict[tuple[str, int], dict[int, PhaseVote]] = {}
         self._pre_qc_sent: set[int] = set()
@@ -484,16 +485,10 @@ class OneShotNode(AchillesNode):
     # ------------------------------------------------------------------
     # Timeout uses the counter-protected TEEview
     # ------------------------------------------------------------------
-    def _advance_via_teeview(self) -> None:
-        try:
-            cert = self.checker.tee_view_os()
-        except EnclaveAbort:
-            return
-        finally:
-            self.charge_enclave(self.checker)
-        self.view = cert.current_view
-        self.pacemaker.view_started(self.view)
-        self.send_to(self.leader_of(self.view), NewView(cert))
+    def _tee_next_view(self):
+        """OneShot's counter-protected TEEview (broadcast/catch-up logic
+        is inherited from :class:`AchillesNode`)."""
+        return self.checker.tee_view_os()
 
     # ------------------------------------------------------------------
     # Reboot: sealed-state restore (no cooperative recovery in OneShot)

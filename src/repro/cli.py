@@ -7,6 +7,8 @@ Commands:
 * ``compare`` — several protocols side by side on one configuration.
 * ``recovery`` — the Table 2 recovery-overhead breakdown.
 * ``counters`` — the Table 4 persistent-counter latencies.
+* ``chaos`` — seeded chaos campaigns (crashes + rollbacks + partitions +
+  churn) under the always-on invariant monitors.
 * ``protocols`` — list everything the registry knows.
 
 All output is plain text (the same tables the benchmarks record).
@@ -124,6 +126,74 @@ def cmd_counters(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default protocol set for ``repro chaos`` — one per trust/committee shape.
+_CHAOS_PROTOCOLS = ["achilles", "achilles-c", "damysus", "minbft"]
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded chaos campaigns and report invariant violations.
+
+    Each (protocol, seed) pair is one fully deterministic campaign; a
+    failing row prints the exact command that reproduces it.  Exit status
+    is 1 if any invariant was violated.
+    """
+    from repro.faults.chaos import ChaosResult, run_chaos_seed
+    from repro.harness.parallel import run_experiments
+
+    protocols = args.protocols or _CHAOS_PROTOCOLS
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    configs = [
+        dict(
+            protocol=protocol, f=args.faults, network=args.network,
+            duration_ms=args.duration, quiesce_ms=args.quiesce,
+            crashes=args.crashes, rollbacks=args.rollbacks,
+            partitions=args.partitions,
+            counter_write_ms=args.counter_write_ms,
+            seed=seed,
+        )
+        for protocol in protocols
+        for seed in seeds
+    ]
+    results = run_experiments(configs, runner=run_chaos_seed,
+                              result_type=ChaosResult, unpack=False)
+
+    rows = []
+    failures = []
+    for result in results:
+        rows.append([
+            result.protocol, result.f, result.n, result.seed,
+            result.committed_height, result.crashes, result.recoveries,
+            result.rollbacks_mounted, result.partitions,
+            len(result.violations), result.digest[:12],
+        ])
+        if result.violations:
+            failures.append(result)
+    print(format_table(
+        ["protocol", "f", "n", "seed", "height", "crashes", "recov",
+         "rollbk", "partit", "violations", "digest"],
+        rows,
+        title=f"chaos — {len(protocols)} protocol(s) × {len(seeds)} seed(s), "
+              f"{args.network}, f={args.faults}",
+    ))
+    for result in failures:
+        print(f"\nFAIL {result.protocol} seed {result.seed}: "
+              f"{len(result.violations)} violation(s)", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        print("  reproduce with:\n"
+              f"    python -m repro chaos --protocols {result.protocol} "
+              f"--f {result.f} --network {result.network} "
+              f"--duration {args.duration:g} --quiesce {args.quiesce:g} "
+              f"--crashes {args.crashes} --rollbacks {args.rollbacks} "
+              f"--partitions {args.partitions} "
+              f"--counter-write-ms {args.counter_write_ms:g} "
+              f"--seed {result.seed}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"\nall {len(results)} campaigns passed every invariant")
+    return 0
+
+
 def cmd_protocols(args: argparse.Namespace) -> int:
     """List registered protocols."""
     import repro.baselines  # noqa: F401 (registration)
@@ -168,6 +238,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_cnt = sub.add_parser("counters", help="Table 4 counter latencies")
     p_cnt.add_argument("--samples", type=int, default=200)
     p_cnt.set_defaults(func=cmd_counters)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded chaos campaigns under invariant monitors")
+    p_chaos.add_argument("--protocols", nargs="+", default=None,
+                         help=f"protocol names (default: {' '.join(_CHAOS_PROTOCOLS)})")
+    p_chaos.add_argument("--seeds", type=int, default=20,
+                         help="run seeds 0..N-1 per protocol")
+    p_chaos.add_argument("--seed", type=int, default=None,
+                         help="run exactly this one seed (reproduce a failure)")
+    p_chaos.add_argument("--f", type=int, default=1, dest="faults",
+                         help="fault threshold f")
+    p_chaos.add_argument("--network", choices=["LAN", "WAN"], default="LAN")
+    p_chaos.add_argument("--duration", type=float, default=4000.0,
+                         help="campaign length (simulated ms)")
+    p_chaos.add_argument("--quiesce", type=float, default=1500.0,
+                         help="fault-free tail checked for liveness (ms)")
+    p_chaos.add_argument("--crashes", type=int, default=3,
+                         help="crash/reboot events per campaign")
+    p_chaos.add_argument("--rollbacks", type=int, default=1,
+                         help="rollback attacks per campaign")
+    p_chaos.add_argument("--partitions", type=int, default=1,
+                         help="partition windows per campaign")
+    p_chaos.add_argument("--counter-write-ms", type=float, default=5.0,
+                         help="persistent-counter write latency for -R variants")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_ls = sub.add_parser("protocols", help="list registered protocols")
     p_ls.set_defaults(func=cmd_protocols)

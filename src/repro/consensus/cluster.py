@@ -53,7 +53,10 @@ class Cluster:
     ) -> bool:
         """Run until ``predicate()`` holds or ``timeout_ms`` elapses.
 
-        Returns True if the predicate became true.
+        Returns True if the predicate became true.  On timeout the clock is
+        advanced to the deadline (matching :meth:`Simulator.run`), so a
+        subsequent ``run(duration_ms)`` measures the expected window rather
+        than silently restarting from the last-event time.
         """
         deadline = self.sim.now + timeout_ms
         while self.sim.now < deadline:
@@ -68,7 +71,10 @@ class Cluster:
                 progressed = True
             if not progressed:
                 break
-        return predicate()
+        satisfied = predicate()
+        if not satisfied and self.sim.now < deadline:
+            self.sim.now = deadline
+        return satisfied
 
     # ------------------------------------------------------------------
     # Inspection

@@ -13,6 +13,7 @@ the persistent-counter factory used by -R variants.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
@@ -102,11 +103,19 @@ class ProtocolConfig:
         # General majority-of-honest fallback.
         return self.n - self.f
 
-    def make_counter(self) -> PersistentCounter:
-        """Instantiate this deployment's persistent counter (or a free one)."""
-        if self.counter_factory is None:
-            return NullCounter()
-        return self.counter_factory()
+    def make_counter(self, rng: Optional["random.Random"] = None) -> PersistentCounter:
+        """Instantiate this deployment's persistent counter (or a free one).
+
+        ``rng`` attaches a deterministic jitter stream to the counter.
+        Callers building one counter per replica must fork a per-node
+        stream (``sim.fork_rng(f"counter/{node_id}")``): without it every
+        counter shares the identical default ``Random(0)`` sequence and
+        write jitter is perfectly correlated across nodes.
+        """
+        counter = NullCounter() if self.counter_factory is None else self.counter_factory()
+        if rng is not None:
+            counter.seed(rng)
+        return counter
 
     def with_(self, **changes) -> "ProtocolConfig":
         """Functional update helper for tests and sweeps."""

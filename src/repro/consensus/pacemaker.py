@@ -40,6 +40,11 @@ class Pacemaker:
         self.timeouts_fired = 0
 
     @property
+    def armed(self) -> bool:
+        """True while the view timer is pending (the replica can time out)."""
+        return self._timer.pending
+
+    @property
     def current_timeout_ms(self) -> float:
         """The timeout applied to the current view."""
         doublings = min(self._consecutive_timeouts, self._max_doublings)
@@ -53,6 +58,16 @@ class Pacemaker:
     def progress(self) -> None:
         """A block committed: reset backoff (the view advanced healthily)."""
         self._consecutive_timeouts = 0
+
+    def rearm(self) -> None:
+        """Re-arm the timer for the current view at the current backoff.
+
+        Used when a timeout fired but the view could not be advanced (e.g.
+        the checker's TEEview aborted mid-recovery): without re-arming, the
+        replica would never time out again and could stall until an
+        external message arrives.
+        """
+        self._timer.start(self.current_timeout_ms, self._fire)
 
     def stop(self) -> None:
         """Disarm (used on crash)."""

@@ -199,6 +199,7 @@ class AchillesNode(ReplicaBase):
         # Recovery bookkeeping
         self._recovery_replies: dict[int, tuple[RecoveryReply, Optional[Block],
                                                 Optional[CommitmentCertificate]]] = {}
+        self._recovery_request: Optional[RecoveryRequest] = None
         self._recovery_nonce: Optional[str] = None
         self._recovery_timer = self.timer("recovery_retry")
         self._current_recovery: Optional[RecoveryStats] = None
@@ -213,14 +214,49 @@ class AchillesNode(ReplicaBase):
         plays the timeout path once so every checker leaves view 0)."""
         self.run_work(self._advance_via_teeview)
 
+    def _tee_next_view(self) -> "ViewCertificate":
+        """The trusted call that advances the checker one view (subclasses
+        substitute their counter-protected variant)."""
+        return self.checker.tee_view()
+
     def _advance_via_teeview(self) -> None:
         try:
-            cert = self.checker.tee_view()
+            cert = self._tee_next_view()
         except EnclaveAbort:
+            # The checker refused (e.g. mid-recovery).  Re-arm the view
+            # timer at the current backoff so the replica retries instead
+            # of stalling until an external message happens to arrive.
+            self.pacemaker.rearm()
             return
         finally:
             self.charge_enclave(self.checker)
         self.view = cert.current_view
+        self.pacemaker.view_started(self.view)
+        # Broadcast (not just to the new leader): peers that fell behind
+        # fast-forward off this certificate, so divergent backoffs reunite
+        # the committee in one view instead of drifting apart forever.
+        self.broadcast(NewView(cert), include_self=True)
+
+    def _sync_to_view(self, target_view: int) -> None:
+        """Fast-forward the checker to ``target_view`` and hand the
+        resulting certificate to that view's leader.
+
+        Without this, replicas whose exponential backoffs diverged advance
+        one view per own timeout; a replica ahead with a shorter timer
+        outruns the laggards and no view ever collects f+1 certificates —
+        a permanent liveness failure the chaos campaigns exhibit.
+        """
+        cert = None
+        while self.view < target_view:
+            try:
+                cert = self._tee_next_view()
+            except EnclaveAbort:
+                return
+            finally:
+                self.charge_enclave(self.checker)
+            self.view = cert.current_view
+        if cert is None:
+            return
         self.pacemaker.view_started(self.view)
         self.send_to(self.leader_of(self.view), NewView(cert))
 
@@ -233,7 +269,12 @@ class AchillesNode(ReplicaBase):
         self.run_work(self._advance_via_teeview)
 
     def on_NewView(self, msg: NewView, src: int) -> None:
-        """Leader side: collect view certificates (COMMIT phase trigger)."""
+        """Leader side: collect view certificates (COMMIT phase trigger).
+
+        Non-leaders use the certificate as a view-synchronization beacon:
+        seeing a view ahead of their own, they catch up through TEEview and
+        send their own certificate to the new view's leader.
+        """
         if self.status is not NodeStatus.RUNNING:
             return
         cert = msg.cert
@@ -242,6 +283,11 @@ class AchillesNode(ReplicaBase):
         # per Algorithm 2 — charging here too would double-count.
         if not cert.validate(self.keyring):
             return
+        # One view ahead is an ordinary single timeout; two or more means
+        # views diverged (crash/backoff drift) and this replica must fast-
+        # forward or no view ever assembles f+1 certificates.
+        if cert.current_view > self.view + 1:
+            self.run_work(lambda: self._sync_to_view(cert.current_view))
         if not self.is_leader(cert.current_view):
             return
         bucket = self._view_certs.setdefault(cert.current_view, {})
@@ -437,6 +483,11 @@ class AchillesNode(ReplicaBase):
             self.with_full_ancestry(block, lambda b: self._apply_commitment(qc, b))
             return
         self.commit_block(block)
+        # Invariant monitors subscribe to the certificate that justified
+        # the commit (Theorem 1: no commit without f+1 store certificates).
+        notify_qc = getattr(self.listener, "on_commit_certificate", None)
+        if notify_qc is not None:
+            notify_qc(self.node_id, qc, self.sim.now)
         self.preb_block = block
         self.preb_qc = qc
         self.pacemaker.progress()
@@ -491,6 +542,7 @@ class AchillesNode(ReplicaBase):
         self._votes.clear()
         self._decided_views.clear()
         self._recovery_replies.clear()
+        self._recovery_request = None
         self._recovery_nonce = None
         self.preb_cert = None
         self.preb_qc = None
@@ -507,18 +559,29 @@ class AchillesNode(ReplicaBase):
                    label=f"{self.name}.recovery_init")
 
     def _begin_recovery(self) -> None:
-        """Step ①: broadcast a fresh recovery request."""
+        """Step ①: broadcast the episode's recovery request.
+
+        The nonce is minted once per episode and the *same* signed request
+        is retransmitted on every retry.  Minting a fresh nonce per retry
+        would discard any reply whose round trip exceeds the retry period
+        (e.g. under injected link delays), livelocking the recovery; the
+        nonce's freshness guarantee is per-incarnation (it binds the
+        checker's reboot counter), so retransmission is replay-safe.
+        """
         if self.status is not NodeStatus.RECOVERING:
             return
-        self._recovery_replies.clear()
-        try:
-            request = self.checker.tee_request()
-        except EnclaveAbort:
-            return
-        finally:
-            self.charge_enclave(self.checker)
-        self._recovery_nonce = request.nonce
-        self._recovery_started_at = self.sim.now
+        if self._recovery_request is None:
+            self._recovery_replies.clear()
+            try:
+                request = self.checker.tee_request()
+            except EnclaveAbort:
+                return
+            finally:
+                self.charge_enclave(self.checker)
+            self._recovery_request = request
+            self._recovery_nonce = request.nonce
+            self._recovery_started_at = self.sim.now
+        request = self._recovery_request
         self.sim.trace.record(self.sim.now, "recovery_request", self.node_id,
                               nonce=request.nonce[:8])
         self.broadcast(RecoveryRequestMsg(request=request))
@@ -574,6 +637,7 @@ class AchillesNode(ReplicaBase):
             self.charge_enclave(self.checker)
 
         self._recovery_timer.cancel()
+        self._recovery_request = None
         self.status = NodeStatus.RUNNING
         if leader_block is not None:
             self.store.add(leader_block)

@@ -7,6 +7,9 @@
   (stopped by the CHECKER), vote withholding and message hiding (masked by
   quorums), stale recovery-reply replay (stopped by nonces), and the
   Sec. 4.5 five-node recovery attack (stopped by the leader rule).
+* :mod:`repro.faults.chaos` — seeded chaos campaigns composing crashes,
+  rollback attacks, partitions, delays, and client churn, run under the
+  always-on invariant monitors.
 """
 
 from repro.faults.crash import CrashRebootSchedule, crash_and_reboot
@@ -17,10 +20,24 @@ from repro.faults.byzantine import (
     EquivocationAttemptNode,
     ReplayingRecoveryResponder,
 )
+from repro.faults.chaos import (
+    ChaosCampaign,
+    ChaosResult,
+    ChaosSpec,
+    generate_campaign,
+    run_chaos,
+    run_chaos_seed,
+)
 
 __all__ = [
     "CrashRebootSchedule",
     "crash_and_reboot",
+    "ChaosCampaign",
+    "ChaosResult",
+    "ChaosSpec",
+    "generate_campaign",
+    "run_chaos",
+    "run_chaos_seed",
     "SilentNode",
     "VoteWithholdingNode",
     "DecideHidingNode",

@@ -1,0 +1,533 @@
+"""Seeded chaos campaigns.
+
+A campaign is a reproducible composition of every fault class the
+repository models — crash/reboot schedules (respecting the paper's f-bound
+via :class:`~repro.faults.crash.CrashRebootSchedule`), rollback attacks
+(:class:`~repro.tee.rollback.RollbackAttacker` plans), partitions and
+targeted delays (via :class:`~repro.net.adversary.NetworkAdversary`), and
+client churn — generated as a *pure function of* ``(spec, seed)``.
+Re-running a seed reproduces the exact event sequence and the exact
+simulation, so a failing seed is a complete bug report.
+
+The run keeps an :class:`~repro.harness.invariants.InvariantMonitor`
+attached for the whole execution: safety (Theorem 1 prefix consistency,
+certified commits) is checked continuously, and liveness (recovery
+termination, post-quiesce progress) once the injected faults quiesce.
+
+This follows the simulation-based robustness methodology of Berger et al.
+("Simulating BFT Protocol Implementations at Scale") and the resilience
+evaluation style of NxBFT: many seeds, every fault class, invariants
+always on.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.consensus.config import ProtocolConfig
+from repro.crypto.hashing import digest_of
+from repro.errors import ConfigurationError
+from repro.faults.crash import CrashRebootSchedule
+from repro.net.adversary import NetworkAdversary
+from repro.tee.rollback import RollbackAttacker
+
+
+# ----------------------------------------------------------------------
+# Campaign description
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Knobs for one chaos campaign (everything but the seed)."""
+
+    protocol: str = "achilles"
+    f: int = 2
+    network: str = "LAN"
+    #: Total simulated run length.
+    duration_ms: float = 4000.0
+    #: Fault-free tail: all injected faults end this long before the end,
+    #: and post-quiesce liveness is checked over this window.
+    quiesce_ms: float = 1500.0
+    #: Faults start only after the cluster has bootstrapped.
+    warmup_ms: float = 200.0
+    #: Crash/reboot events to attempt (events that would exceed the
+    #: f-bound are dropped deterministically).
+    crashes: int = 3
+    min_downtime_ms: float = 20.0
+    max_downtime_ms: float = 250.0
+    #: Rollback attacks to mount on rebooting nodes (only on protocols
+    #: that defend: Achilles-style recovery or -R counters).
+    rollbacks: int = 1
+    #: Partition windows (a minority group is isolated, then healed).
+    partitions: int = 1
+    max_partition_ms: float = 400.0
+    #: Targeted extra-delay rules on random links.
+    delays: int = 2
+    max_extra_delay_ms: float = 25.0
+    #: Client churn: offered-load changes at random times (the final churn
+    #: event restores the base rate so the liveness check has traffic).
+    churn_events: int = 2
+    base_rate_tps: float = 4000.0
+    min_rate_tps: float = 500.0
+    max_rate_tps: float = 8000.0
+    #: Persistent-counter write latency for -R variants.
+    counter_write_ms: float = 5.0
+    #: Budget added to each crash window when checking the f-bound: a
+    #: rebooted node is still effectively faulty while it runs recovery,
+    #: and two concurrent recoveries can deadlock an f=1 committee.
+    recovery_grace_ms: float = 500.0
+    #: Deployment shaping (small and fast — chaos is about logic coverage).
+    batch_size: int = 50
+    payload_size: int = 32
+    base_timeout_ms: float = 120.0
+    recovery_retry_ms: float = 25.0
+    #: Invariant poll period.
+    poll_every_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= self.quiesce_ms + self.warmup_ms:
+            raise ConfigurationError(
+                "duration_ms must exceed warmup_ms + quiesce_ms "
+                f"({self.duration_ms} <= {self.warmup_ms} + {self.quiesce_ms})"
+            )
+
+    @property
+    def fault_window(self) -> tuple[float, float]:
+        """(start, end) of the window in which faults may be active."""
+        return (self.warmup_ms, self.duration_ms - self.quiesce_ms)
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Isolate ``group`` from everyone else during [at, until)."""
+
+    at_ms: float
+    until_ms: float
+    group: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DelayWindow:
+    """Add ``extra_ms`` to all src→dst traffic during [at, until)."""
+
+    at_ms: float
+    until_ms: float
+    src: Optional[int]
+    dst: Optional[int]
+    extra_ms: float
+
+
+@dataclass(frozen=True)
+class ChaosCampaign:
+    """The generated, fully deterministic fault plan for one seed."""
+
+    spec: ChaosSpec
+    seed: int
+    n: int
+    #: (node, crash at, downtime) — max_concurrent ≤ f by construction.
+    crash_events: tuple[tuple[int, float, float], ...]
+    #: Crash victims that additionally get a rollback attack at reboot.
+    rollback_victims: tuple[int, ...]
+    partitions: tuple[PartitionWindow, ...]
+    delays: tuple[DelayWindow, ...]
+    #: (at, rate_tps) client-churn events.
+    churn: tuple[tuple[float, float], ...]
+    #: Crash attempts dropped to respect the f-bound (observability: a
+    #: campaign must say what it did NOT inject, not silently shrink).
+    crashes_dropped: int = 0
+    rollbacks_skipped: int = 0
+
+    def describe(self) -> str:
+        """One line summarizing the injected faults."""
+        return (
+            f"{self.spec.protocol} f={self.spec.f} seed={self.seed}: "
+            f"{len(self.crash_events)} crash(es) "
+            f"({self.crashes_dropped} dropped for f-bound), "
+            f"{len(self.rollback_victims)} rollback(s) "
+            f"({self.rollbacks_skipped} skipped), "
+            f"{len(self.partitions)} partition(s), "
+            f"{len(self.delays)} delay rule(s), "
+            f"{len(self.churn)} churn event(s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Campaign generation — pure function of (spec, seed)
+# ----------------------------------------------------------------------
+def _protocol_spec(name: str):
+    from repro.harness import runner
+
+    runner._ensure_registered()
+    spec = runner.PROTOCOLS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; known: {sorted(runner.PROTOCOLS)}"
+        )
+    return spec
+
+
+def _defends_rollback(protocol_spec, node_cls) -> bool:
+    """Only attack protocols that defend: -R counters detect stale state,
+    and Achilles-style recovery never trusts storage at all.  Attacking an
+    *unprotected* sealing protocol (plain Damysus/OneShot) would be a
+    demonstration of its known vulnerability, not a regression signal."""
+    if protocol_spec.uses_counter:
+        return True
+    # Reboot signatures without a rollback_attacker parameter never unseal
+    # through the attacker (Achilles, MinBFT): storage attacks are moot.
+    return "rollback_attacker" not in inspect.signature(node_cls.reboot).parameters
+
+
+def generate_campaign(spec: ChaosSpec, seed: int) -> ChaosCampaign:
+    """Generate the deterministic fault plan for ``(spec, seed)``."""
+    protocol = _protocol_spec(spec.protocol)
+    n = protocol.committee(spec.f)
+    rng = random.Random(f"chaos/{spec.protocol}/{spec.f}/{seed}")
+    start, end = spec.fault_window
+
+    # Partition windows first: they lengthen recoveries, so crash-window
+    # admission below must see them.  A minority group (≤ f nodes) is
+    # isolated, then healed before the quiesce window.
+    partitions: list[PartitionWindow] = []
+    for _ in range(spec.partitions):
+        size = rng.randint(1, max(1, spec.f))
+        group = tuple(sorted(rng.sample(range(n), size)))
+        length = rng.uniform(50.0, spec.max_partition_ms)
+        at = rng.uniform(start, max(start + 1.0, end - length))
+        partitions.append(PartitionWindow(
+            at_ms=at, until_ms=min(end, at + length), group=group,
+        ))
+
+    def effective_end(at: float, downtime: float) -> float:
+        """When the victim is plausibly RUNNING again: reboot + recovery
+        grace, stretched through any partition the recovery overlaps."""
+        done = at + downtime + spec.recovery_grace_ms
+        for window in sorted(partitions, key=lambda w: w.at_ms):
+            if window.at_ms < done and window.until_ms > at + downtime:
+                done = max(done, window.until_ms + spec.recovery_grace_ms)
+        return done
+
+    def admits(events: list[tuple[int, float, float]]) -> bool:
+        """True iff at most f nodes are ever concurrently non-RUNNING."""
+        extended = CrashRebootSchedule()
+        for who, at, downtime in events:
+            extended.add(who, at, effective_end(at, downtime) - at)
+        return extended.max_concurrent() <= spec.f
+
+    # Crash/reboot events, f-bound enforced at generation time over the
+    # *extended* windows (crash + recovery), never per raw downtime only.
+    schedule = CrashRebootSchedule()
+    crashes_dropped = 0
+    down_nodes: set[int] = set()
+    for _ in range(spec.crashes):
+        node = rng.randrange(n)
+        downtime = rng.uniform(spec.min_downtime_ms, spec.max_downtime_ms)
+        latest_start = end - downtime
+        if latest_start <= start:
+            crashes_dropped += 1
+            continue
+        at = rng.uniform(start, latest_start)
+        overlaps_self = any(
+            who == node and at < effective_end(other_at, other_down)
+            and other_at < effective_end(at, downtime)
+            for who, other_at, other_down in schedule.events
+        )
+        if overlaps_self or not admits(schedule.events + [(node, at, downtime)]):
+            crashes_dropped += 1
+            continue
+        schedule.add(node, at, downtime)
+        down_nodes.add(node)
+
+    # Rollback attacks ride on crash victims.  A detected rollback keeps
+    # the victim offline for good (-R semantics), so treat its downtime as
+    # extending to the end of the run when checking the f-bound.
+    rollback_victims: list[int] = []
+    rollbacks_skipped = 0
+    defended = _defends_rollback(protocol, protocol.node_cls)
+    victims = sorted(down_nodes)
+    rng.shuffle(victims)
+    for node in victims[: spec.rollbacks]:
+        if not defended:
+            rollbacks_skipped += 1
+            continue
+        stretched = [
+            (who, at, spec.duration_ms - at)
+            if (who == node or who in rollback_victims) else (who, at, downtime)
+            for who, at, downtime in schedule.events
+        ]
+        if not admits(stretched):
+            rollbacks_skipped += 1
+            continue
+        rollback_victims.append(node)
+    rollbacks_skipped += max(0, spec.rollbacks - len(victims))
+
+    # Targeted delay rules on random links.
+    delays: list[DelayWindow] = []
+    for _ in range(spec.delays):
+        src = rng.randrange(n) if rng.random() < 0.7 else None
+        dst = rng.randrange(n) if rng.random() < 0.7 else None
+        at = rng.uniform(start, end)
+        until = rng.uniform(at, end)
+        delays.append(DelayWindow(
+            at_ms=at, until_ms=until, src=src, dst=dst,
+            extra_ms=rng.uniform(1.0, spec.max_extra_delay_ms),
+        ))
+
+    # Client churn: rate swings inside the fault window, then back to base
+    # so the post-quiesce liveness check always has traffic to commit.
+    churn: list[tuple[float, float]] = []
+    for _ in range(spec.churn_events):
+        churn.append((rng.uniform(start, end),
+                      rng.uniform(spec.min_rate_tps, spec.max_rate_tps)))
+    churn.sort()
+    if churn:
+        churn.append((end, spec.base_rate_tps))
+
+    return ChaosCampaign(
+        spec=spec,
+        seed=seed,
+        n=n,
+        crash_events=tuple(schedule.events),
+        rollback_victims=tuple(sorted(rollback_victims)),
+        partitions=tuple(partitions),
+        delays=tuple(delays),
+        churn=tuple(churn),
+        crashes_dropped=crashes_dropped,
+        rollbacks_skipped=rollbacks_skipped,
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign execution
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosResult:
+    """One seed's outcome.  ``digest`` summarizes the full observable
+    state deterministically: identical seeds must be byte-identical."""
+
+    protocol: str
+    f: int
+    n: int
+    network: str
+    seed: int
+    committed_height: int
+    min_committed_height: int
+    recoveries: int
+    crashes: int
+    rollbacks_mounted: int
+    partitions: int
+    violations: list[str] = field(default_factory=list)
+    sim_events: int = 0
+    digest: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no invariant was violated."""
+        return not self.violations
+
+
+def _install(campaign: ChaosCampaign, cluster, monitor, generator) -> dict:
+    """Schedule every campaign event on the cluster's simulator."""
+    sim = cluster.sim
+    spec = campaign.spec
+    attackers: dict[int, RollbackAttacker] = {}
+
+    for node_id, at, downtime in campaign.crash_events:
+        node = cluster.nodes[node_id]
+        sim.schedule_at(at, node.crash, label=f"chaos.crash node{node_id}")
+        if node_id in campaign.rollback_victims:
+            checker = getattr(node, "checker", None)
+            accepts = "rollback_attacker" in \
+                inspect.signature(node.reboot).parameters
+            if checker is not None and accepts:
+                attacker = RollbackAttacker(store=checker.store)
+                attacker.serve_oldest(f"{checker.identity}/rstate")
+                attackers[node_id] = attacker
+                sim.schedule_at(
+                    at + downtime,
+                    lambda node=node, attacker=attacker:
+                        node.reboot(rollback_attacker=attacker),
+                    label=f"chaos.reboot+rollback node{node_id}",
+                )
+                continue
+            if checker is not None:
+                # Achilles-style: mount the storage attack anyway — the
+                # protocol never consults untrusted storage, so the plan
+                # must stay unused (attacks_mounted == 0 is the proof).
+                attacker = RollbackAttacker(store=checker.store)
+                attacker.serve_oldest(f"{checker.identity}/rstate")
+                attackers[node_id] = attacker
+        sim.schedule_at(at + downtime, node.reboot,
+                        label=f"chaos.reboot node{node_id}")
+
+    adversary = cluster.network.adversary
+    for window in campaign.partitions:
+        rest = tuple(i for i in range(campaign.n) if i not in window.group)
+
+        def cut(group=window.group, rest=rest):
+            adversary.partition(set(group), set(rest))
+
+        sim.schedule_at(window.at_ms, cut, label="chaos.partition")
+        sim.schedule_at(window.until_ms, adversary.heal_partition,
+                        label="chaos.heal")
+
+    for window in campaign.delays:
+        def slow(w=window):
+            adversary.delay_link(w.src, w.dst, w.extra_ms,
+                                 until_ms=w.until_ms, label="chaos.delay")
+
+        sim.schedule_at(window.at_ms, slow, label="chaos.delay")
+
+    if generator is not None:
+        for at, rate in campaign.churn:
+            def set_rate(rate=rate):
+                generator.rate_tps = rate
+
+            sim.schedule_at(at, set_rate, label="chaos.churn")
+
+    quiesce_at = spec.duration_ms - spec.quiesce_ms
+    sim.schedule_at(quiesce_at, monitor.mark_quiesced, label="chaos.quiesce")
+    return attackers
+
+
+def run_chaos(spec: ChaosSpec, seed: int) -> ChaosResult:
+    """Run one seeded campaign and return its (deterministic) result."""
+    from repro.client.workload import OpenLoopGenerator, QueueSource
+    from repro.consensus.cluster import build_cluster
+    from repro.harness.invariants import InvariantMonitor
+    from repro.net.latency import LAN_PROFILE, WAN_PROFILE
+    from repro.tee.counters import ConfigurableCounter
+    from repro.tee.enclave import EnclaveProfile
+
+    protocol = _protocol_spec(spec.protocol)
+    campaign = generate_campaign(spec, seed)
+
+    latency = {"LAN": LAN_PROFILE, "WAN": WAN_PROFILE}.get(spec.network.upper())
+    if latency is None:
+        raise ConfigurationError(f"unknown network {spec.network!r} (LAN or WAN)")
+
+    counter_factory = None
+    if protocol.uses_counter and spec.counter_write_ms > 0:
+        counter_factory = lambda: ConfigurableCounter(spec.counter_write_ms)  # noqa: E731
+    enclave = EnclaveProfile.outside_tee() if protocol.outside_tee \
+        else EnclaveProfile()
+
+    config = ProtocolConfig(
+        n=campaign.n,
+        f=spec.f,
+        batch_size=spec.batch_size,
+        payload_size=spec.payload_size,
+        counter_factory=counter_factory,
+        enclave=enclave,
+        base_timeout_ms=spec.base_timeout_ms,
+        recovery_retry_ms=spec.recovery_retry_ms,
+        seed=seed,
+    )
+
+    monitor = InvariantMonitor()
+    generator_holder: list[OpenLoopGenerator] = []
+
+    def source_factory(sim):
+        queue = QueueSource()
+        generator = OpenLoopGenerator(
+            sim, queue, rate_tps=spec.base_rate_tps,
+            payload_size=spec.payload_size,
+            client_one_way_ms=latency.one_way_ms,
+        )
+        generator_holder.append(generator)
+        return queue
+
+    cluster = build_cluster(
+        node_factory=protocol.node_cls,
+        config=config,
+        latency=latency,
+        source_factory=source_factory,
+        listener=monitor,
+        seed=seed,
+        adversary=NetworkAdversary(),
+    )
+    cluster.sim.trace.enabled = False
+    monitor.attach(cluster, poll_every_ms=spec.poll_every_ms)
+    generator = generator_holder[0] if generator_holder else None
+    attackers = _install(campaign, cluster, monitor, generator)
+
+    if generator is not None:
+        generator.start()
+    cluster.start()
+    cluster.run(spec.duration_ms)
+
+    monitor.finalize()
+    try:
+        cluster.assert_safety()
+    except AssertionError as exc:  # belt and braces over the live monitor
+        monitor.violations.append(type(monitor.violations[0])(
+            "agreement", cluster.sim.now, None, str(exc),
+        ) if monitor.violations else _final_violation(cluster, str(exc)))
+
+    recoveries = sum(
+        len(getattr(node, "recovery_episodes", ())) for node in cluster.nodes
+    )
+    rollbacks_mounted = sum(a.attacks_mounted for a in attackers.values())
+    violations = [str(v) for v in monitor.violations]
+    tips = [(node.store.committed_tip.height, node.store.committed_tip.hash)
+            for node in cluster.nodes]
+    digest = digest_of(
+        "chaos-result", spec.protocol, spec.f, spec.network, seed,
+        tips, violations, cluster.sim.events_processed,
+    )
+
+    return ChaosResult(
+        protocol=spec.protocol,
+        f=spec.f,
+        n=campaign.n,
+        network=spec.network.upper(),
+        seed=seed,
+        committed_height=cluster.max_committed_height(),
+        min_committed_height=cluster.min_committed_height(),
+        recoveries=recoveries,
+        crashes=len(campaign.crash_events),
+        rollbacks_mounted=rollbacks_mounted,
+        partitions=len(campaign.partitions),
+        violations=violations,
+        sim_events=cluster.sim.events_processed,
+        digest=digest,
+    )
+
+
+def _final_violation(cluster, message: str):
+    from repro.harness.invariants import InvariantViolation
+
+    return InvariantViolation("agreement", cluster.sim.now, None, message)
+
+
+#: ChaosSpec field names accepted by :func:`run_chaos_seed` configs.
+_SPEC_FIELDS = frozenset(ChaosSpec.__dataclass_fields__)
+
+
+def run_chaos_seed(config: Mapping) -> ChaosResult:
+    """Worker entry point: one config mapping → one :class:`ChaosResult`.
+
+    ``config`` holds ``seed`` plus any :class:`ChaosSpec` fields — the
+    shape :func:`repro.harness.parallel.run_experiments` fans out across
+    worker processes (module-level so it pickles).
+    """
+    kwargs = {k: v for k, v in config.items() if k in _SPEC_FIELDS}
+    unknown = set(config) - _SPEC_FIELDS - {"seed", "extras"}
+    if unknown:
+        raise ConfigurationError(f"unknown chaos config keys: {sorted(unknown)}")
+    return run_chaos(ChaosSpec(**kwargs), seed=int(config.get("seed", 0)))
+
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosCampaign",
+    "ChaosResult",
+    "PartitionWindow",
+    "DelayWindow",
+    "generate_campaign",
+    "run_chaos",
+    "run_chaos_seed",
+]

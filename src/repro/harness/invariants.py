@@ -1,0 +1,340 @@
+"""Always-on protocol invariant monitors.
+
+The chaos campaigns (:mod:`repro.faults.chaos`) keep an
+:class:`InvariantMonitor` attached to the cluster for the whole run, as a
+:class:`~repro.consensus.base.CommitListener` plus a periodically polled
+state observer.  Between them the monitors check, *continuously during the
+run* rather than only at the end:
+
+* **agreement** — any two nodes committing at the same height commit the
+  same block, and each node's committed chain links parent to child
+  (together: all committed chains are prefix-consistent — the paper's
+  Theorem 1);
+* **chain-integrity** — per node, committed heights advance one at a time
+  and never repeat;
+* **certified-commit** — no block stays committed without a valid f+1
+  commitment certificate covering it (protocols report certificates via
+  the optional ``on_commit_certificate`` listener hook);
+* **checker-monotonicity** — a trusted component's view number ``vi``
+  never decreases within one incarnation of its host;
+* **counter-monotonicity** — persistent counter values never decrease,
+  reboots included (that is their entire point);
+* **recovery-liveness** — every recovery episode terminates: no node is
+  left RECOVERING at the end of a run (optionally also bounded per
+  episode during the run);
+* **post-quiesce-liveness** — once faults quiesce, the committed height
+  advances again (the GST-style liveness claim of Sec. 6).
+
+Violations are collected, never raised mid-run, so one bad event cannot
+mask later ones; :meth:`InvariantMonitor.assert_ok` raises at the end with
+every violation message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed invariant violation."""
+
+    invariant: str
+    time: float
+    node: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        where = f"node {self.node}" if self.node is not None else "cluster"
+        return f"[{self.invariant}] t={self.time:.3f} ms {where}: {self.message}"
+
+
+class InvariantMonitor:
+    """Continuous invariant checking for one cluster run.
+
+    Usable standalone as a listener (``listener=InvariantMonitor()``) or
+    chained in front of another listener such as a
+    :class:`~repro.harness.metrics.MetricsCollector` via ``inner=``.
+    Call :meth:`attach` to bind the cluster and start periodic state
+    polling, :meth:`finalize` after the run, then :meth:`assert_ok`.
+    """
+
+    def __init__(self, inner: Any = None,
+                 recovery_bound_ms: Optional[float] = None) -> None:
+        self.inner = inner
+        self.recovery_bound_ms = recovery_bound_ms
+        self.violations: list[InvariantViolation] = []
+        self.cluster = None
+        # height -> (block hash, first committing node)
+        self._canonical: dict[int, tuple[str, int]] = {}
+        # node -> height of its latest commit
+        self._tip_height: dict[int, int] = {}
+        # node -> committed blocks not yet covered by a certificate
+        self._uncovered: dict[int, deque[tuple[int, str]]] = {}
+        # nodes that ever reported a certificate (certified-commit applies)
+        self._certifying_nodes: set[int] = set()
+        # (node, epoch) -> last trusted view number seen
+        self._last_vi: dict[tuple[int, int], int] = {}
+        # (node, counter name) -> last persistent counter value seen
+        self._last_counter: dict[tuple[int, str], int] = {}
+        # node -> sim time it was first seen RECOVERING (this episode)
+        self._recovering_since: dict[int, float] = {}
+        self._reported_stuck: set[int] = set()
+        self.polls = 0
+        self._quiesced_at: Optional[float] = None
+        self._height_at_quiesce = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, cluster, poll_every_ms: float = 25.0) -> "InvariantMonitor":
+        """Bind ``cluster`` and schedule recurring state polls."""
+        self.bind(cluster)
+        sim = cluster.sim
+
+        def tick() -> None:
+            self.poll()
+            sim.schedule(poll_every_ms, tick, label="invariant-poll")
+
+        sim.schedule(poll_every_ms, tick, label="invariant-poll")
+        return self
+
+    def bind(self, cluster) -> "InvariantMonitor":
+        """Bind the cluster without scheduling polls (tests drive poll())."""
+        self.cluster = cluster
+        return self
+
+    def _violate(self, invariant: str, node: Optional[int], message: str) -> None:
+        now = self.cluster.sim.now if self.cluster is not None else 0.0
+        self.violations.append(InvariantViolation(invariant, now, node, message))
+        if self.cluster is not None:
+            self.cluster.sim.trace.record(now, "invariant_violation", node,
+                                          invariant=invariant)
+
+    # ------------------------------------------------------------------
+    # CommitListener protocol (chains to ``inner``)
+    # ------------------------------------------------------------------
+    def on_propose(self, node: int, block: Block, now: float) -> None:
+        if self.inner is not None:
+            self.inner.on_propose(node, block, now)
+
+    def on_commit(self, node: int, block: Block, now: float) -> None:
+        height, block_hash = block.height, block.hash
+
+        canonical = self._canonical.get(height)
+        if canonical is None:
+            self._canonical[height] = (block_hash, node)
+        elif canonical[0] != block_hash:
+            self._violate(
+                "agreement", node,
+                f"nodes {canonical[1]} and {node} committed different blocks "
+                f"at height {height}: {canonical[0][:12]} vs {block_hash[:12]}",
+            )
+        parent = self._canonical.get(height - 1)
+        if parent is not None and height > 0 and block.parent_hash != parent[0]:
+            self._violate(
+                "agreement", node,
+                f"block {block_hash[:12]} at height {height} does not extend "
+                f"the canonical block {parent[0][:12]} at height {height - 1}",
+            )
+
+        last = self._tip_height.get(node)
+        if last is not None and height != last + 1:
+            self._violate(
+                "chain-integrity", node,
+                f"committed height jumped {last} -> {height} "
+                f"(must advance one block at a time)",
+            )
+        self._tip_height[node] = height
+
+        self._uncovered.setdefault(node, deque()).append((height, block_hash))
+        if self.inner is not None:
+            self.inner.on_commit(node, block, now)
+
+    def on_reply(self, node: int, tx: Transaction, now: float) -> None:
+        if self.inner is not None:
+            self.inner.on_reply(node, tx, now)
+
+    def on_replies(self, node: int, txs: tuple[Transaction, ...], now: float) -> None:
+        inner_many = getattr(self.inner, "on_replies", None)
+        if inner_many is not None:
+            inner_many(node, txs, now)
+        elif self.inner is not None:
+            for tx in txs:
+                self.inner.on_reply(node, tx, now)
+
+    def on_commit_certificate(self, node: int, qc: Any, now: float) -> None:
+        """A node reports the certificate justifying its latest commit."""
+        self._certifying_nodes.add(node)
+        if self.cluster is not None:
+            threshold = self.cluster.config.f + 1
+            signers = qc.signatures.distinct_signers()
+            if len(signers) < threshold or not qc.validate(
+                    self.cluster.keyring, threshold):
+                self._violate(
+                    "certified-commit", node,
+                    f"commitment certificate for block {qc.block_hash[:12]} "
+                    f"(view {qc.view}) lacks f+1={threshold} valid distinct "
+                    f"signatures",
+                )
+                return
+        # The certificate covers its block and, transitively, every
+        # uncommitted ancestor the node committed along with it.
+        uncovered = self._uncovered.get(node)
+        if not uncovered:
+            return
+        if any(entry[1] == qc.block_hash for entry in uncovered):
+            while uncovered:
+                _height, block_hash = uncovered.popleft()
+                if block_hash == qc.block_hash:
+                    break
+
+    # ------------------------------------------------------------------
+    # Periodic state polling
+    # ------------------------------------------------------------------
+    def poll(self) -> None:
+        """Sample trusted state on every node; record monotonicity breaks."""
+        if self.cluster is None:
+            return
+        self.polls += 1
+        now = self.cluster.sim.now
+        for node in self.cluster.nodes:
+            self._poll_trusted_view(node)
+            self._poll_counters(node)
+            self._poll_recovery(node, now)
+
+    def _trusted_components(self, node) -> list[tuple[str, Any]]:
+        found = []
+        for attr in ("checker", "usig", "proposer", "accumulator"):
+            component = getattr(node, attr, None)
+            if component is not None:
+                found.append((attr, component))
+        return found
+
+    def _poll_trusted_view(self, node) -> None:
+        checker = getattr(node, "checker", None)
+        state = getattr(checker, "state", None)
+        vi = getattr(state, "vi", None)
+        if vi is None:
+            return
+        key = (node.node_id, node.epoch)
+        last = self._last_vi.get(key)
+        if last is not None and vi < last:
+            self._violate(
+                "checker-monotonicity", node.node_id,
+                f"checker view went backwards within one incarnation "
+                f"(epoch {node.epoch}): {last} -> {vi}",
+            )
+        self._last_vi[key] = vi
+
+    def _poll_counters(self, node) -> None:
+        for attr, component in self._trusted_components(node):
+            counter = getattr(component, "counter", None)
+            value = getattr(counter, "value", None)
+            if value is None:
+                continue
+            key = (node.node_id, f"{attr}.{counter.name}")
+            last = self._last_counter.get(key)
+            if last is not None and value < last:
+                self._violate(
+                    "counter-monotonicity", node.node_id,
+                    f"persistent counter {counter.name} ({attr}) rolled "
+                    f"back: {last} -> {value}",
+                )
+            self._last_counter[key] = value
+
+    def _poll_recovery(self, node, now: float) -> None:
+        status = getattr(node, "status", None)
+        recovering = status is not None and getattr(status, "name", "") == "RECOVERING"
+        node_id = node.node_id
+        if not recovering:
+            self._recovering_since.pop(node_id, None)
+            self._reported_stuck.discard(node_id)
+            return
+        since = self._recovering_since.setdefault(node_id, now)
+        bound = self.recovery_bound_ms
+        if bound is not None and now - since > bound and \
+                node_id not in self._reported_stuck:
+            self._reported_stuck.add(node_id)
+            self._violate(
+                "recovery-liveness", node_id,
+                f"stuck in RECOVERING for {now - since:.1f} ms "
+                f"(bound {bound:.1f} ms)",
+            )
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+    def mark_quiesced(self) -> None:
+        """All injected faults are over; liveness must resume from here."""
+        if self.cluster is None:
+            return
+        self._quiesced_at = self.cluster.sim.now
+        self._height_at_quiesce = self.cluster.max_committed_height()
+
+    def finalize(self) -> None:
+        """Run the end-of-run checks (idempotent)."""
+        if self._finalized or self.cluster is None:
+            return
+        self._finalized = True
+        self.poll()
+
+        for node in self.cluster.nodes:
+            status = getattr(node, "status", None)
+            if status is not None and getattr(status, "name", "") == "RECOVERING":
+                since = self._recovering_since.get(node.node_id,
+                                                   self.cluster.sim.now)
+                self._violate(
+                    "recovery-liveness", node.node_id,
+                    f"recovery episode never terminated (RECOVERING since "
+                    f"t={since:.1f} ms at end of run)",
+                )
+
+        for node_id in sorted(self._certifying_nodes):
+            uncovered = self._uncovered.get(node_id)
+            if uncovered:
+                height, block_hash = uncovered[0]
+                self._violate(
+                    "certified-commit", node_id,
+                    f"{len(uncovered)} committed block(s) never covered by a "
+                    f"commitment certificate, first: height {height} "
+                    f"({block_hash[:12]})",
+                )
+
+        if self._quiesced_at is not None:
+            final_height = self.cluster.max_committed_height()
+            if final_height <= self._height_at_quiesce:
+                self._violate(
+                    "post-quiesce-liveness", None,
+                    f"committed height stuck at {final_height} since faults "
+                    f"quiesced at t={self._quiesced_at:.1f} ms",
+                )
+
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        """Raise ``AssertionError`` naming every violation observed."""
+        if self.violations:
+            lines = "\n".join(f"  {v}" for v in self.violations)
+            raise AssertionError(
+                f"{len(self.violations)} invariant violation(s):\n{lines}"
+            )
+
+    def summary(self) -> dict:
+        """Counts per invariant (for reports and result digests)."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+
+__all__ = ["InvariantMonitor", "InvariantViolation"]

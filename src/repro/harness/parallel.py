@@ -29,6 +29,7 @@ function of the simulated run.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 import multiprocessing
 import os
@@ -42,8 +43,10 @@ from repro.harness.runner import ExperimentResult, run_experiment
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Bump when ExperimentResult's schema changes, to orphan stale cache files.
-_CACHE_SCHEMA = 1
+#: Bump when any cached result dataclass's schema changes, to orphan stale
+#: cache files.  2: cache keys carry the runner name (chaos campaigns and
+#: throughput experiments share the cache directory).
+_CACHE_SCHEMA = 2
 
 
 def default_workers() -> int:
@@ -65,24 +68,33 @@ def _default_report(line: str) -> None:
     print(line, file=sys.stderr, flush=True)
 
 
-def config_key(config: Mapping) -> str:
+def config_key(config: Mapping, runner_name: str = "run_experiment") -> str:
     """Stable digest identifying one experiment configuration.
 
     Uses the repo's canonical encoding, so nested dicts/tuples (e.g.
     ``config_overrides``) hash deterministically regardless of insertion
     order.  The ``extras`` entry is excluded: it only annotates the result
-    and never influences the simulation.
+    and never influences the simulation.  ``runner_name`` keeps results of
+    different runners (throughput vs chaos) from colliding in one cache.
     """
     kwargs = {k: v for k, v in config.items() if k != "extras"}
-    return digest_of("experiment-cache", _CACHE_SCHEMA, kwargs)
+    return digest_of("experiment-cache", _CACHE_SCHEMA, runner_name, kwargs)
 
 
-def _run_timed(config: Mapping) -> tuple[ExperimentResult, float]:
+def _run_kwargs(config: Mapping, runner: Callable) -> tuple:
     """Worker body: run one config, measuring wall-clock (module-level so
-    it pickles into pool workers)."""
+    it pickles into pool workers via ``functools.partial``)."""
     kwargs = {k: v for k, v in config.items() if k != "extras"}
     start = time.perf_counter()
-    result = run_experiment(**kwargs)
+    result = runner(**kwargs)
+    return result, time.perf_counter() - start
+
+
+def _run_mapping(config: Mapping, runner: Callable) -> tuple:
+    """Like :func:`_run_kwargs` for runners taking the config mapping whole
+    (e.g. :func:`repro.faults.chaos.run_chaos_seed`)."""
+    start = time.perf_counter()
+    result = runner(config)
     return result, time.perf_counter() - start
 
 
@@ -90,19 +102,20 @@ def _cache_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
     return cache_dir / f"{key}.json"
 
 
-def _cache_load(cache_dir: pathlib.Path, key: str) -> Optional[ExperimentResult]:
+def _cache_load(cache_dir: pathlib.Path, key: str,
+                result_type: type = ExperimentResult) -> Optional[object]:
     path = _cache_path(cache_dir, key)
     try:
         data = json.loads(path.read_text())
     except (OSError, ValueError):
         return None
     try:
-        return ExperimentResult(**data)
+        return result_type(**data)
     except TypeError:
         return None  # stale schema: treat as a miss, will be overwritten
 
 
-def _cache_store(cache_dir: pathlib.Path, key: str, result: ExperimentResult) -> None:
+def _cache_store(cache_dir: pathlib.Path, key: str, result: object) -> None:
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = _cache_path(cache_dir, key)
     tmp = path.with_suffix(".tmp")
@@ -139,14 +152,23 @@ def run_experiments(
     workers: Optional[int] = None,
     cache_dir: Optional[os.PathLike | str] = None,
     report: Optional[Callable[[str], None]] = None,
-) -> list[ExperimentResult]:
+    runner: Callable = run_experiment,
+    result_type: type = ExperimentResult,
+    unpack: bool = True,
+) -> list:
     """Run a batch of experiment configs; results in input order.
 
-    Each config is a mapping of :func:`run_experiment` keyword arguments,
+    Each config is a mapping of ``runner`` keyword arguments (with
+    ``unpack=False`` the mapping is passed whole as the single positional
+    argument — the shape :func:`repro.faults.chaos.run_chaos_seed` takes),
     plus an optional ``"extras"`` dict merged into ``result.extras`` after
     the run (used by the Fig. 4/5 sweeps to tag rows with the swept
-    variable).  Results are bit-identical to calling ``run_experiment``
+    variable).  Results are bit-identical to calling ``runner``
     sequentially yourself — fan-out and caching change wall-clock only.
+
+    ``runner`` must be a module-level callable (it is pickled into pool
+    workers) returning a ``result_type`` dataclass with at least
+    ``protocol``/``f``/``n``/``network``/``sim_events``/``extras`` fields.
 
     ``cache_dir`` (or the ``REPRO_RESULT_CACHE`` environment variable)
     enables the on-disk result cache.  ``report`` receives one line per
@@ -154,20 +176,21 @@ def run_experiments(
     """
     configs = [dict(c) for c in configs]
     emit = _default_report if report is None else report
+    runner_name = getattr(runner, "__name__", repr(runner))
 
     cache: Optional[pathlib.Path] = None
     raw_dir = cache_dir if cache_dir is not None else os.environ.get("REPRO_RESULT_CACHE")
     if raw_dir:
         cache = pathlib.Path(raw_dir)
 
-    results: list[Optional[ExperimentResult]] = [None] * len(configs)
+    results: list = [None] * len(configs)
     walls: list[Optional[float]] = [None] * len(configs)
     pending: list[int] = []
 
     if cache is not None:
-        keys = [config_key(c) for c in configs]
+        keys = [config_key(c, runner_name) for c in configs]
         for i, key in enumerate(keys):
-            hit = _cache_load(cache, key)
+            hit = _cache_load(cache, key, result_type)
             if hit is not None:
                 results[i] = hit
             else:
@@ -178,7 +201,9 @@ def run_experiments(
 
     batch_start = time.perf_counter()
     if pending:
-        fresh = parallel_map(_run_timed, [configs[i] for i in pending],
+        body = functools.partial(_run_kwargs if unpack else _run_mapping,
+                                 runner=runner)
+        fresh = parallel_map(body, [configs[i] for i in pending],
                              workers=workers)
         for i, (result, wall) in zip(pending, fresh):
             results[i] = result

@@ -68,6 +68,30 @@ class TestSingleRecovery:
         assert node.status is NodeStatus.RUNNING
         assert node.recovery_episodes
 
+    def test_recovery_survives_rtt_above_retry_period(self):
+        """Regression (found by ``repro chaos``, achilles seed 16): the
+        recovery nonce is minted once per episode and the *same* request is
+        retransmitted on retry.  Minting a fresh nonce per retry discarded
+        every reply whose round trip exceeded ``recovery_retry_ms``, so any
+        link delay above half the retry period livelocked the recovery."""
+        from repro.net.adversary import NetworkAdversary
+
+        adversary = NetworkAdversary()
+        config = fast_config(f=1)  # recovery_retry_ms=10
+        cluster = achilles_cluster(f=1, config=config, adversary=adversary)
+        cluster.start()
+        cluster.run(100.0)
+        # One-way delay alone now exceeds the whole retry period.
+        adversary.delay_link(None, None, config.recovery_retry_ms + 2.0)
+        node = cluster.nodes[2]
+        node.crash()
+        cluster.run(5.0)
+        node.reboot()
+        cluster.run(600.0)
+        cluster.assert_safety()
+        assert node.status is NodeStatus.RUNNING
+        assert len(node.recovery_episodes) == 1
+
     def test_repeated_reboots_of_same_node(self):
         cluster = achilles_cluster(f=2)
         schedule = CrashRebootSchedule()

@@ -89,6 +89,52 @@ class TestViewChange:
         assert live[0].store.extends(live[0].store.committed_tip, tip_before.hash)
 
 
+class TestPacemakerStallRegression:
+    def test_teeview_abort_rearms_pacemaker(self):
+        """Regression: a replica whose checker aborts TEEview (e.g. the
+        checker is mid-recovery while the host thinks it is RUNNING) must
+        re-arm its view timer — without the fix the timer dies after the
+        first abort and the node stalls until an external message arrives."""
+        cluster = achilles_cluster(f=2)
+        cluster.start()
+        cluster.run(100.0)
+        node = cluster.nodes[3]
+        # Cut the node off so only its own timer can ever advance it.
+        adv = cluster.network.adversary
+        adv.drop_link(None, 3, label="isolate-3-in")
+        adv.drop_link(3, None, label="isolate-3-out")
+        node.checker.recovering = True  # every TEEview now aborts
+        # Messages already in flight at the cut still land (commits need no
+        # checker call); drain them before recording the stuck view.
+        cluster.run(10.0)
+        view_stuck = node.view
+        cluster.run(1000.0)
+        assert node.view == view_stuck, "aborting TEEview must not advance the view"
+        assert node.pacemaker.armed, (
+            "pacemaker must stay armed across EnclaveAbort so the replica "
+            "keeps retrying"
+        )
+        # Once the checker recovers, the re-armed timer drives the view on.
+        node.checker.recovering = False
+        cluster.run(5000.0)
+        assert node.view > view_stuck
+
+    def test_abort_retry_respects_current_backoff(self):
+        cluster = achilles_cluster(f=2)
+        cluster.start()
+        cluster.run(100.0)
+        node = cluster.nodes[3]
+        cluster.network.adversary.drop_link(None, 3)
+        cluster.network.adversary.drop_link(3, None)
+        node.checker.recovering = True
+        fired_before = node.pacemaker.timeouts_fired
+        cluster.run(1000.0)
+        fired = node.pacemaker.timeouts_fired - fired_before
+        # Exponential backoff: within 1000 ms of a 50 ms base timeout the
+        # retries are 50+100+200+400(+800) — a handful, not a busy loop.
+        assert 2 <= fired <= 6
+
+
 class TestStatusGating:
     def test_recovering_node_ignores_consensus_messages(self):
         cluster = achilles_cluster(f=2)

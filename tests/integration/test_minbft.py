@@ -88,6 +88,81 @@ class TestMinBFT:
                                warmup_ms=150, seed=3)
         assert plain.throughput_ktps > 5 * result.throughput_ktps
 
+    def test_reboot_rearms_pacemaker_and_drops_volatile_state(self):
+        """Regression (found by ``repro chaos``, minbft seed 17): a crash
+        voids every host-side timer, so a rebooted node whose pacemaker is
+        never re-armed can never vote a view change — which wedges an f=1
+        committee for good.  Host memory (in-flight prepares, partial
+        commit quorums) must not survive the reboot either."""
+        cluster = minbft_cluster(f=1)
+        cluster.start()
+        cluster.run(100.0)
+        node = cluster.nodes[1]
+        node.crash()
+        cluster.run(20.0)
+        node.reboot()
+        assert node.pacemaker.armed
+        assert node._prepares == {} and node._commit_uis == {}
+        cluster.run(200.0)
+        cluster.assert_safety()
+
+    def test_view_change_votes_converge_on_proposed_view(self):
+        """Regression (found by ``repro chaos``, minbft seeds 14/17): each
+        node used to vote only for its *own* ``view+1``, so replicas whose
+        timeouts diverged could never assemble f+1 votes on any one view.
+        A node now echo-joins a higher proposed view, converging the votes
+        (safety is the USIG's job; the view is just a leader epoch)."""
+        from repro.baselines.minbft import MViewChange
+        from repro.crypto.signatures import sign
+
+        cluster = minbft_cluster(f=1)
+        cluster.start()
+        cluster.run(50.0)
+        voter, receiver = cluster.nodes[2], cluster.nodes[0]
+        vc = MViewChange(new_view=5,
+                         signature=sign(voter.keypair.private, "MVC", 5))
+        receiver.on_MViewChange(vc, src=2)
+        # The receiver's echoed vote + the sender's vote reach f+1 = 2.
+        assert receiver.view == 5
+
+    def test_no_ui_on_conflicting_same_height_prepare(self):
+        """Regression (found by ``repro chaos``, minbft seed 11): after a
+        leader change, the new leader could propose a fresh block at a
+        height where the old leader's block was mid-commit; a backup that
+        UI-certified both would let two conflicting f+1 commit quorums
+        form — a fork.  Certification is now height-keyed: one block hash
+        per height, ever."""
+        from repro.baselines.minbft import MPrepare
+        from repro.chain.block import create_leaf
+        from repro.chain.execution import execute_transactions
+        from repro.crypto.hashing import digest_of
+
+        cluster = minbft_cluster(f=1)
+        cluster.start()
+        cluster.run(50.0)
+        leader0, leader1, backup = cluster.nodes
+        parent = backup.store.committed_tip
+
+        def prepare_from(leader, view):
+            op = execute_transactions([], parent.hash)
+            # Same height, same parent — only the view differs, which is
+            # enough to give the two blocks different hashes.
+            block = create_leaf([], op, parent, view=view,
+                                proposer=leader.node_id)
+            digest = digest_of("mprep", view, block.hash)
+            ui = leader.usig.create_ui(digest)
+            return MPrepare(view=view, block=block, ui=ui), digest
+
+        prepare_a, digest_a = prepare_from(leader0, view=0)
+        prepare_b, digest_b = prepare_from(leader1, view=1)
+        assert prepare_a.block.hash != prepare_b.block.hash
+        backup.on_MPrepare(prepare_a, src=0)
+        backup.on_MPrepare(prepare_b, src=1)
+        assert digest_a in backup._prepares
+        assert digest_b not in backup._prepares  # refused: would equivocate
+        assert backup.store.is_committed(prepare_a.block.hash)
+        assert not backup.store.is_committed(prepare_b.block.hash)
+
     def test_achilles_outperforms_minbft_r(self):
         """The paper's framing: Achilles removes exactly the counter cost
         MinBFT-R demonstrates."""
