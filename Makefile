@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench perf chaos chaos-smoke ci
+.PHONY: test bench-quick bench perf chaos chaos-smoke trace-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -21,6 +21,12 @@ chaos:
 # Small deterministic slice of the above for CI.
 chaos-smoke:
 	$(PYTHON) -m repro chaos --seeds 3 --duration 2500 --quiesce 1000
+
+# Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
+# Perfetto traces to traces/, and fails unless the walk attributes >= 95%
+# of mean commit latency and every trace passes schema validation.
+trace-smoke:
+	$(PYTHON) -m repro trace fig3-lan --f 1 --assert-coverage
 
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest -q benchmarks/ --benchmark-only

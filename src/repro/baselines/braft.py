@@ -241,6 +241,9 @@ class BRaftNode(ReplicaBase):
         self.next_index = {p: next_idx for p in self.peers}
         self.match_index = {p: 0 for p in self.peers}
         self.sim.trace.record(self.sim.now, "raft_leader", self.node_id, term=self.term)
+        if self._obs.enabled:
+            self._obs.instant("raft_leader", self.node_id, self.sim.now,
+                              term=self.term)
         self._heartbeat()
         if self.last_log_index() > self.commit_index:
             # §5.4.2: entries from older terms cannot be committed by
@@ -306,6 +309,9 @@ class BRaftNode(ReplicaBase):
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)
+        if self._obs.enabled:
+            self._obs.block_proposed(block.hash, self.term, self.node_id,
+                                     len(block.txs), self.sim.now)
         for peer in self.peers:
             self._send_append(peer)
         if not self.peers:

@@ -245,7 +245,7 @@ class DamysusChecker(RStateMixin, Enclave):
             return True
         version, payload = sealed_payload
         if self.counter is not None:
-            self.charge(self.protected_read_latency())
+            self.charge_protected_read()
             if version != self.counter.value:
                 raise EnclaveAbort(
                     f"rollback detected: sealed version {version} != "

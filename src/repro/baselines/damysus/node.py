@@ -262,6 +262,9 @@ class DamysusNode(ReplicaBase):
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)
+        if self._obs.enabled:
+            self._obs.block_proposed(block.hash, view, self.node_id,
+                                     len(block.txs), self.sim.now)
         self.broadcast(DProposal(block=block, block_cert=block_cert))
         self._collect_prepare_vote(own_vote)
 
@@ -272,7 +275,7 @@ class DamysusNode(ReplicaBase):
         """Validate the block and return a prepare vote."""
         block, cert = msg.block, msg.block_cert
         # Certificate verification is charged inside tee_vote_prepare.
-        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        self.charge_hash(block.wire_size())
         if not cert.validate(self.keyring):
             return
         if cert.block_hash != block.hash or cert.view != block.view:
@@ -295,6 +298,9 @@ class DamysusNode(ReplicaBase):
             return
         finally:
             self.charge_enclave(self.checker)
+        if self._obs.enabled:
+            self._obs.block_milestone(block.hash, "vote", self.node_id,
+                                      self.sim.now)
         if block.view > self.view:
             self.view = block.view
             self.pacemaker.view_started(self.view)
@@ -318,6 +324,9 @@ class DamysusNode(ReplicaBase):
         if len(bucket) < self.config.f + 1:
             return
         self._prepared_qc_sent.add(vote.view)
+        if self._obs.enabled:
+            self._obs.block_milestone(vote.block_hash, "prepared",
+                                      self.node_id, self.sim.now)
         qc = PhaseQC(
             phase=PREP, block_hash=vote.block_hash, view=vote.view,
             signatures=SignatureList.of(
@@ -372,6 +381,9 @@ class DamysusNode(ReplicaBase):
         if len(bucket) < self.config.f + 1:
             return
         self._decided.add(vote.view)
+        if self._obs.enabled:
+            self._obs.block_milestone(vote.block_hash, "cert", self.node_id,
+                                      self.sim.now)
         qc = PhaseQC(
             phase=CMT, block_hash=vote.block_hash, view=vote.view,
             signatures=SignatureList.of(
@@ -438,6 +450,8 @@ class DamysusNode(ReplicaBase):
         self.pacemaker.stop()
         init_ms = self.checker.restart(self.config.n - 1)
         self.accumulator.restart(0)  # covered by the same bringup window
+        if self._obs.enabled:
+            self._obs.begin_phase("recovery", self.node_id, self.sim.now)
 
         def restore() -> None:
             if rollback_attacker is not None:
@@ -450,11 +464,17 @@ class DamysusNode(ReplicaBase):
                 # Rollback detected (Damysus-R): refuse to rejoin until the
                 # OS produces the fresh state.  Modelled as staying offline.
                 self.sim.trace.record(self.sim.now, "rollback_detected", self.node_id)
+                if self._obs.enabled:
+                    self._obs.end_phase("recovery", self.node_id, self.sim.now,
+                                        rollback_detected=True)
                 return
             finally:
                 self.charge_enclave(self.checker)
             self.view = self.checker.state.vi
             self.pacemaker.view_started(self.view)
+            if self._obs.enabled:
+                self._obs.end_phase("recovery", self.node_id, self.sim.now,
+                                    view=self.view)
 
         self.after(init_ms, lambda: self.run_work(restore),
                    label=f"{self.name}.restore")

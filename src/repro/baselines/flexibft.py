@@ -201,6 +201,9 @@ class FlexiBFTNode(ReplicaBase):
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)
+        if self._obs.enabled:
+            self._obs.block_proposed(block.hash, self.view, self.node_id,
+                                     len(block.txs), self.sim.now)
         self.broadcast(FProposal(block=block, block_cert=cert))
         self._cast_vote(block)
 
@@ -209,7 +212,7 @@ class FlexiBFTNode(ReplicaBase):
         """Validate the leader's block and broadcast a vote."""
         block, cert = msg.block, msg.block_cert
         self.charge_verify(1)
-        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        self.charge_hash(block.wire_size())
         if not cert.validate(self.keyring):
             return
         if cert.block_hash != block.hash:
@@ -229,6 +232,9 @@ class FlexiBFTNode(ReplicaBase):
             if parent is None or execute_transactions(block.txs, parent.hash) != block.op:
                 return
         self._blocks_by_hash_pending[block.hash] = block
+        if self._obs.enabled:
+            self._obs.block_milestone(block.hash, "vote", self.node_id,
+                                      self.sim.now)
         self.charge_sign(1)
         vote = FVote(
             block_hash=block.hash, view=block.view,
@@ -307,6 +313,9 @@ class FlexiBFTNode(ReplicaBase):
             return
         self.view = msg.new_view
         self.pacemaker.view_started(self.view)
+        if self._obs.enabled:
+            self._obs.instant("view_change", self.node_id, self.sim.now,
+                              view=self.view)
         self._vc_votes = {v: s for v, s in self._vc_votes.items() if v > self.view}
         if self.is_leader(self.view):
             self._proposed_height = self.store.committed_tip.height

@@ -179,6 +179,9 @@ class MinBFTNode(ReplicaBase):
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)
+        if self._obs.enabled:
+            self._obs.block_proposed(block.hash, self.view, self.node_id,
+                                     len(block.txs), self.sim.now)
         self.broadcast(prepare)
         # The leader's prepare doubles as its commit (MinBFT §IV).
         self._commit_uis.setdefault(prepare_digest, set()).add(self.node_id)
@@ -197,7 +200,7 @@ class MinBFTNode(ReplicaBase):
         if certified is not None and certified != msg.block.hash:
             return  # signing this UI would equivocate at msg.block.height
         digest = msg.digest()
-        self.charge(self.config.crypto.hash_cost(msg.block.wire_size()))
+        self.charge_hash(msg.block.wire_size())
         try:
             # Gaps allowed: commits we dropped as late duplicates may have
             # advanced this sender's counter past the strict sequence.
@@ -220,6 +223,9 @@ class MinBFTNode(ReplicaBase):
         finally:
             self.charge_enclave(self.usig)
         self._certified[msg.block.height] = msg.block.hash
+        if self._obs.enabled:
+            self._obs.block_milestone(msg.block.hash, "vote", self.node_id,
+                                      self.sim.now)
         commit = MCommit(view=msg.view, block_hash=msg.block.hash,
                          prepare_digest=digest, ui=my_ui)
         self.broadcast(commit)
@@ -304,6 +310,9 @@ class MinBFTNode(ReplicaBase):
         self._vc_votes.clear()
         self._outstanding = None
         self._batch_timer.cancel()
+        if self._obs.enabled:
+            self._obs.instant("rejoin", self.node_id, self.sim.now,
+                              view=self.view)
         self.pacemaker.view_started(self.view)
         if self.is_leader(self.view):
             self.run_work(self._prepare_next)

@@ -185,7 +185,7 @@ class OneShotChecker(RStateMixin, AchillesChecker):
             return True
         version, payload = sealed_payload
         if self.counter is not None:
-            self.charge(self.protected_read_latency())
+            self.charge_protected_read()
             if version != self.counter.value:
                 raise EnclaveAbort(
                     f"rollback detected: sealed version {version} != "
@@ -345,6 +345,9 @@ class OneShotNode(AchillesNode):
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)
+        if self._obs.enabled:
+            self._obs.block_proposed(block.hash, view, self.node_id,
+                                     len(block.txs), self.sim.now)
         self.broadcast(OSProposal(block=block, block_cert=block_cert, slow=slow))
         if slow:
             self._slow_blocks[view] = (block, block_cert)
@@ -366,7 +369,7 @@ class OneShotNode(AchillesNode):
             return
         block, cert = msg.block, msg.block_cert
         # Certificate verification is charged inside the checker ECALLs.
-        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        self.charge_hash(block.wire_size())
         if not cert.validate(self.keyring):
             return
         if cert.block_hash != block.hash or cert.view != block.view:
@@ -401,6 +404,9 @@ class OneShotNode(AchillesNode):
         self.preb_block = block
         self.preb_cert = cert
         self.preb_qc = None
+        if self._obs.enabled:
+            self._obs.block_milestone(block.hash, "vote", self.node_id,
+                                      self.sim.now)
         if block.view > self.view:
             self.view = block.view
             self.pacemaker.view_started(self.view)
@@ -508,6 +514,8 @@ class OneShotNode(AchillesNode):
         self._slow_blocks.clear()
         init_ms = self.checker.restart(self.config.n - 1)
         self.accumulator.restart(0)  # covered by the same bringup window
+        if self._obs.enabled:
+            self._obs.begin_phase("recovery", self.node_id, self.sim.now)
 
         def restore() -> None:
             if rollback_attacker is not None:
@@ -518,12 +526,18 @@ class OneShotNode(AchillesNode):
                 self.checker.tee_restore(sealed)
             except EnclaveAbort:
                 self.sim.trace.record(self.sim.now, "rollback_detected", self.node_id)
+                if self._obs.enabled:
+                    self._obs.end_phase("recovery", self.node_id, self.sim.now,
+                                        rollback_detected=True)
                 return
             finally:
                 self.charge_enclave(self.checker)
             self.status = NodeStatus.RUNNING
             self.view = self.checker.state.vi
             self.pacemaker.view_started(self.view)
+            if self._obs.enabled:
+                self._obs.end_phase("recovery", self.node_id, self.sim.now,
+                                    view=self.view)
 
         self.after(init_ms, lambda: self.run_work(restore),
                    label=f"{self.name}.restore")

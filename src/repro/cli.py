@@ -5,10 +5,13 @@ Commands:
 * ``run`` — one experiment (protocol × f × network × workload), printing
   the paper's three metrics.
 * ``compare`` — several protocols side by side on one configuration.
+* ``trace`` — traced runs of the Fig. 3 protocol set: critical-path cost
+  breakdown per protocol + Perfetto JSON files (open in ui.perfetto.dev).
 * ``recovery`` — the Table 2 recovery-overhead breakdown.
 * ``counters`` — the Table 4 persistent-counter latencies.
 * ``chaos`` — seeded chaos campaigns (crashes + rollbacks + partitions +
-  churn) under the always-on invariant monitors.
+  churn) under the always-on invariant monitors; the first failing seed
+  is re-run with span tracing and dumped as a Perfetto trace.
 * ``protocols`` — list everything the registry knows.
 
 All output is plain text (the same tables the benchmarks record).
@@ -96,6 +99,77 @@ def cmd_compare(args: argparse.Namespace) -> int:
               f"batch {args.batch} × {args.payload} B",
     ))
     return 0
+
+
+#: Named ``repro trace`` experiments → network profile.
+_TRACE_EXPERIMENTS = {"fig3-lan": "LAN", "fig3-wan": "WAN"}
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Traced runs + critical-path cost breakdown (paper Sec. 5 / Table 4).
+
+    Runs the Fig. 3 protocol set with span tracing on, prints where each
+    protocol's mean commit latency goes (persistent-counter writes,
+    network flight, crypto, ECALL transitions, queueing, compute), and
+    writes one Perfetto/Chrome trace JSON per protocol into ``--out-dir``
+    (load them at https://ui.perfetto.dev).  ``--assert-coverage`` fails
+    the command when the walk attributes less than 95% of the measured
+    commit latency — the CI smoke check.
+    """
+    import pathlib
+
+    from repro.harness.experiments import FIG3_PROTOCOLS, cost_breakdown_sweep
+    from repro.obs.critical_path import BUCKETS
+    from repro.obs.perfetto import validate_trace
+
+    network = _TRACE_EXPERIMENTS[args.experiment]
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    results = cost_breakdown_sweep(
+        network=network, protocols=args.protocols or FIG3_PROTOCOLS,
+        f=args.faults, counter_write_ms=args.counter_write_ms,
+        seed=args.seed, trace_dir=str(out_dir),
+    )
+
+    rows = []
+    failures: list[str] = []
+    for result in results:
+        extras = result.extras
+        coverage = extras.get("trace_coverage", 0.0)
+        rows.append(
+            [result.protocol, round(result.commit_latency_ms, 3)]
+            + [round(extras.get(f"cp_{bucket}_ms", 0.0), 3)
+               for bucket in BUCKETS]
+            + [f"{coverage:.1%}"]
+        )
+        if coverage < args.min_coverage:
+            failures.append(
+                f"{result.protocol}: critical-path walk attributed only "
+                f"{coverage:.1%} of mean commit latency "
+                f"(need >= {args.min_coverage:.0%})"
+            )
+    print(format_table(
+        ["protocol", "commit (ms)"] + [f"{b} (ms)" for b in BUCKETS]
+        + ["coverage"],
+        rows,
+        title=f"critical-path cost breakdown — {network}, f={args.faults}, "
+              f"counter write {args.counter_write_ms:g} ms",
+    ))
+
+    schema_problems: list[str] = []
+    for path in sorted(out_dir.glob("*.json")):
+        problems = validate_trace(path)
+        if problems:
+            schema_problems.extend(f"{path}: {p}" for p in problems[:5])
+        else:
+            print(f"wrote {path} (valid Perfetto trace)")
+    print("open the JSON files at https://ui.perfetto.dev")
+
+    if not args.assert_coverage:
+        failures = []
+    for failure in failures + schema_problems:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if (failures or schema_problems) else 0
 
 
 def cmd_recovery(args: argparse.Namespace) -> int:
@@ -189,9 +263,38 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"--counter-write-ms {args.counter_write_ms:g} "
               f"--seed {result.seed}", file=sys.stderr)
     if failures:
+        _dump_failing_chaos_trace(args, failures[0])
         return 1
     print(f"\nall {len(results)} campaigns passed every invariant")
     return 0
+
+
+def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
+    """Re-run the first failing chaos seed with span tracing on and write
+    its Perfetto trace (determinism makes the re-run reproduce the failure
+    exactly, so the trace shows the run that violated the invariant)."""
+    import pathlib
+
+    from repro.faults.chaos import ChaosSpec, run_chaos
+
+    trace_dir = pathlib.Path(args.trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    path = trace_dir / (f"chaos-{failure.protocol}-f{failure.f}"
+                        f"-seed{failure.seed}.json")
+    spec = ChaosSpec(
+        protocol=failure.protocol, f=failure.f, network=failure.network,
+        duration_ms=args.duration, quiesce_ms=args.quiesce,
+        crashes=args.crashes, rollbacks=args.rollbacks,
+        partitions=args.partitions,
+        counter_write_ms=args.counter_write_ms,
+    )
+    try:
+        run_chaos(spec, failure.seed, trace_path=str(path))
+    except Exception as exc:  # best effort: never mask the failure itself
+        print(f"  (trace dump failed: {exc})", file=sys.stderr)
+        return
+    print(f"  span trace of the failing run: {path} "
+          "(open at https://ui.perfetto.dev)", file=sys.stderr)
 
 
 def cmd_protocols(args: argparse.Namespace) -> int:
@@ -230,6 +333,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
+    p_trace = sub.add_parser(
+        "trace", help="critical-path cost breakdown + Perfetto traces")
+    p_trace.add_argument("experiment", choices=sorted(_TRACE_EXPERIMENTS),
+                         help="named traced experiment")
+    p_trace.add_argument("--protocols", nargs="+", default=None,
+                         help="protocol names (default: the Fig. 3 set)")
+    p_trace.add_argument("--f", type=int, default=2, dest="faults",
+                         help="fault threshold f")
+    p_trace.add_argument("--counter-write-ms", type=float, default=20.0,
+                         help="persistent-counter write latency for -R variants")
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--out-dir", default="traces",
+                         help="directory for the Perfetto JSON files")
+    p_trace.add_argument("--assert-coverage", action="store_true",
+                         help="exit 1 unless the walk attributes >= the "
+                              "--min-coverage share of commit latency")
+    p_trace.add_argument("--min-coverage", type=float, default=0.95,
+                         help="coverage threshold for --assert-coverage")
+    p_trace.set_defaults(func=cmd_trace)
+
     p_rec = sub.add_parser("recovery", help="Table 2 recovery breakdown")
     p_rec.add_argument("--nodes", type=int, nargs="+",
                        default=[3, 5, 9, 21, 41, 61])
@@ -262,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="partition windows per campaign")
     p_chaos.add_argument("--counter-write-ms", type=float, default=5.0,
                          help="persistent-counter write latency for -R variants")
+    p_chaos.add_argument("--trace-dir", default="traces",
+                         help="where the first failing seed's span trace "
+                              "is dumped (Perfetto JSON)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_ls = sub.add_parser("protocols", help="list registered protocols")

@@ -82,6 +82,9 @@ class ReplicaBase(Process):
         self.store = BlockStore()
         self.peers = [i for i in range(config.n) if i != node_id]
         network.attach(node_id, self)
+        # Causal span tracer (repro.obs); checked via `.enabled` on every
+        # emission site so untraced runs pay one branch per site.
+        self._obs = sim.obs
 
         self._pending_cost = 0.0
         self._outbox: list[tuple[int, Any]] = []
@@ -123,22 +126,29 @@ class ReplicaBase(Process):
         recv_cost = self.config.costs.recv_cost(envelope.size)
         ready = self.cpu.account(self.sim.now, recv_cost)
         epoch = self.epoch
+        arrival = self.sim.now
 
         def dispatch() -> None:
             if self.alive and self.epoch == epoch:
-                self._dispatch(envelope)
+                self._dispatch(envelope, arrival)
 
         if ready <= self.sim.now:
             self.sim.call_soon(dispatch, label=f"{self.name}.dispatch")
         else:
             self.sim.schedule_at(ready, dispatch, label=f"{self.name}.dispatch")
 
-    def _dispatch(self, envelope: Envelope) -> None:
-        handler = getattr(self, f"on_{type(envelope.payload).__name__}", None)
+    def _dispatch(self, envelope: Envelope, arrival: Optional[float] = None) -> None:
+        kind = type(envelope.payload).__name__
+        handler = getattr(self, f"on_{kind}", None)
         if handler is None:
             self.sim.trace.record(self.sim.now, "unhandled_message", self.node_id,
-                                  kind=type(envelope.payload).__name__)
+                                  kind=kind)
             return
+        obs = self._obs
+        if obs.enabled:
+            obs.stage_dispatch(self.node_id, kind,
+                               self.sim.now if arrival is None else arrival,
+                               obs.take_route(envelope.msg_id))
         self.run_work(lambda: handler(envelope.payload, envelope.src))
 
     def run_work(self, fn: Callable[[], None]) -> None:
@@ -152,20 +162,24 @@ class ReplicaBase(Process):
         if self._in_handler:
             fn()
             return
+        obs = self._obs
+        sid = obs.open_work(self.node_id, self.sim.now) if obs.enabled else 0
         self._in_handler = True
         try:
             fn()
         finally:
             self._in_handler = False
-            self._flush()
+            self._flush(sid)
 
-    def _flush(self) -> None:
+    def _flush(self, sid: int = 0) -> None:
         cost = self._pending_cost
         outbox = self._outbox
         self._pending_cost = 0.0
         self._outbox = []
         cost += self.config.costs.msg_send_ms * len(outbox)
         finish = self.cpu.account(self.sim.now, cost)
+        if sid:
+            self._obs.close_work(sid, finish - cost, finish)
         if not outbox:
             return
         epoch = self.epoch
@@ -177,13 +191,23 @@ class ReplicaBase(Process):
                 if dst == self.node_id:
                     envelope = Envelope.make(self.node_id, self.node_id,
                                              payload, self.sim.now)
+                    if sid and self._obs.enabled:
+                        # Loopback skips the network; give it a pseudo
+                        # net span so the causal chain stays unbroken
+                        # (leader self-votes sit on the commit path).
+                        self._obs.net_span(
+                            sid, envelope.msg_id, self.node_id,
+                            self.node_id, type(payload).__name__,
+                            self.sim.now,
+                            self.sim.now + self.LOOPBACK_EPSILON_MS,
+                            envelope.size, loopback=True)
                     self.sim.schedule(self.LOOPBACK_EPSILON_MS,
                                       lambda e=envelope: self.alive
                                       and self.epoch == epoch
                                       and self._dispatch(e),
                                       label=f"{self.name}.loopback")
                 else:
-                    self.network.send(self.node_id, dst, payload)
+                    self.network.send(self.node_id, dst, payload, cause=sid)
 
         if finish <= self.sim.now:
             transmit()
@@ -199,15 +223,34 @@ class ReplicaBase(Process):
 
     def charge_enclave(self, enclave) -> None:
         """Drain a trusted component's accrued cost onto this node's CPU."""
-        self.charge(enclave.drain_cost())
+        if self._obs.enabled:
+            cost, parts = enclave.drain_cost_parts()
+            self._pending_cost += cost
+            if parts:
+                self._obs.add_parts(parts)
+        else:
+            self.charge(enclave.drain_cost())
 
     def charge_verify(self, count: int = 1) -> None:
         """Account untrusted-side verification of ``count`` signatures."""
-        self.charge(self.config.crypto.verify_many(count))
+        cost = self.config.crypto.verify_many(count)
+        self._pending_cost += cost
+        if self._obs.enabled:
+            self._obs.add_part("crypto", "verify", cost)
 
     def charge_sign(self, count: int = 1) -> None:
         """Account untrusted-side creation of ``count`` signatures."""
-        self.charge(self.config.crypto.sign_ms * count)
+        cost = self.config.crypto.sign_ms * count
+        self._pending_cost += cost
+        if self._obs.enabled:
+            self._obs.add_part("crypto", "sign", cost)
+
+    def charge_hash(self, size_bytes: int) -> None:
+        """Account untrusted-side hashing of ``size_bytes`` bytes."""
+        cost = self.config.crypto.hash_cost(size_bytes)
+        self._pending_cost += cost
+        if self._obs.enabled:
+            self._obs.add_part("crypto", "hash", cost)
 
     #: Floor on loopback delivery delay: guarantees simulated time advances
     #: even under zero-cost profiles (an n=1 committee would otherwise spin
@@ -264,7 +307,10 @@ class ReplicaBase(Process):
         listener = self.listener
         on_replies = getattr(listener, "on_replies", None)
         trace_record = self.sim.trace.record
+        obs = self._obs if self._obs.enabled else None
         for b in newly:
+            if obs is not None:
+                obs.block_committed(b.hash, self.node_id, now)
             self.charge(self.config.costs.exec_cost(len(b.txs)))
             if self.state_machine is not None:
                 self.state_machine.apply_batch(b.txs)
@@ -453,7 +499,7 @@ class ReplicaBase(Process):
     def on_BlockSyncResponse(self, msg: BlockSyncResponse, src: int) -> None:
         """A pulled block arrived: store it and retry whoever waited on it."""
         block = msg.block
-        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        self.charge_hash(block.wire_size())
         self.store.add(block)
         self._sync_requested.discard(block.hash)
         waiters = self._awaiting_ancestor.pop(block.hash, [])

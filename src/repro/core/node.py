@@ -232,6 +232,9 @@ class AchillesNode(ReplicaBase):
             self.charge_enclave(self.checker)
         self.view = cert.current_view
         self.pacemaker.view_started(self.view)
+        if self._obs.enabled:
+            self._obs.instant("view_change", self.node_id, self.sim.now,
+                              view=self.view)
         # Broadcast (not just to the new leader): peers that fell behind
         # fast-forward off this certificate, so divergent backoffs reunite
         # the committee in one view instead of drifting apart forever.
@@ -366,6 +369,9 @@ class AchillesNode(ReplicaBase):
             self.listener.on_propose(self.node_id, block, self.sim.now)
         self.sim.trace.record(self.sim.now, "propose", self.node_id,
                               view=view, block=block.hash, txs=len(block.txs))
+        if self._obs.enabled:
+            self._obs.block_proposed(block.hash, view, self.node_id,
+                                     len(block.txs), self.sim.now)
         self.broadcast(Proposal(block=block, block_cert=block_cert))
         # The leader stores (votes for) its own block (Algorithm 1 line 18
         # covers "all nodes").
@@ -393,6 +399,9 @@ class AchillesNode(ReplicaBase):
             c.signature for c in list(bucket.values())[: self.config.f + 1]
         )
         qc = CommitmentCertificate(block_hash=cert.block_hash, view=cert.view, signatures=sigs)
+        if self._obs.enabled:
+            self._obs.block_milestone(cert.block_hash, "cert", self.node_id,
+                                      self.sim.now)
         self._handle_commitment(qc, src=self.node_id)
         self.broadcast(Decide(qc=qc))
 
@@ -407,7 +416,7 @@ class AchillesNode(ReplicaBase):
         # The block certificate is re-verified (and charged) inside
         # TEEstore; here the host only pays for hashing the block body it
         # needs for the structural comparisons.
-        self.charge(self.config.crypto.hash_cost(block.wire_size()))
+        self.charge_hash(block.wire_size())
         if not cert.validate(self.keyring):
             return
         if cert.block_hash != block.hash or cert.view != block.view:
@@ -444,6 +453,9 @@ class AchillesNode(ReplicaBase):
         self.preb_block = block
         self.preb_cert = cert
         self.preb_qc = None
+        if self._obs.enabled:
+            self._obs.block_milestone(block.hash, "vote", self.node_id,
+                                      self.sim.now)
         if block.view > self.view:
             self.view = block.view
             self.pacemaker.view_started(self.view)
@@ -550,6 +562,8 @@ class AchillesNode(ReplicaBase):
 
         stats = RecoveryStats(rebooted_at=self.sim.now)
         self._current_recovery = stats
+        if self._obs.enabled:
+            self._obs.begin_phase("recovery", self.node_id, self.sim.now)
         init_ms = self.checker.restart(self.config.n - 1)
         # The accumulator restarts within the same enclave-bringup window;
         # its cost is covered by the checker's init (one SGX restart).
@@ -657,6 +671,9 @@ class AchillesNode(ReplicaBase):
             self._current_recovery = None
         self.sim.trace.record(self.sim.now, "recovery_complete", self.node_id,
                               view=self.view)
+        if self._obs.enabled:
+            self._obs.end_phase("recovery", self.node_id, self.sim.now,
+                                view=self.view)
 
     # ------------------------------------------------------------------
     def crash(self) -> None:

@@ -393,8 +393,15 @@ def _install(campaign: ChaosCampaign, cluster, monitor, generator) -> dict:
     return attackers
 
 
-def run_chaos(spec: ChaosSpec, seed: int) -> ChaosResult:
-    """Run one seeded campaign and return its (deterministic) result."""
+def run_chaos(spec: ChaosSpec, seed: int,
+              trace_path: Optional[str] = None) -> ChaosResult:
+    """Run one seeded campaign and return its (deterministic) result.
+
+    ``trace_path`` turns on :mod:`repro.obs` span tracing for the run and
+    writes the Perfetto/Chrome trace JSON there — the debugging view of a
+    failing seed (tracing never changes simulation outcomes, so the traced
+    re-run reproduces the failure exactly).
+    """
     from repro.client.workload import OpenLoopGenerator, QueueSource
     from repro.consensus.cluster import build_cluster
     from repro.harness.invariants import InvariantMonitor
@@ -450,6 +457,8 @@ def run_chaos(spec: ChaosSpec, seed: int) -> ChaosResult:
         adversary=NetworkAdversary(),
     )
     cluster.sim.trace.enabled = False
+    if trace_path is not None:
+        cluster.sim.obs.enabled = True
     monitor.attach(cluster, poll_every_ms=spec.poll_every_ms)
     generator = generator_holder[0] if generator_holder else None
     attackers = _install(campaign, cluster, monitor, generator)
@@ -466,6 +475,13 @@ def run_chaos(spec: ChaosSpec, seed: int) -> ChaosResult:
         monitor.violations.append(type(monitor.violations[0])(
             "agreement", cluster.sim.now, None, str(exc),
         ) if monitor.violations else _final_violation(cluster, str(exc)))
+
+    if trace_path is not None:
+        from repro.obs.perfetto import write_perfetto
+
+        cluster.sim.obs.flush_open_phases(cluster.sim.now)
+        write_perfetto(cluster.sim.obs, trace_path,
+                       label=f"chaos/{spec.protocol}/f={spec.f}/seed={seed}")
 
     recoveries = sum(
         len(getattr(node, "recovery_episodes", ())) for node in cluster.nodes

@@ -10,6 +10,7 @@ stable means.
 
 from __future__ import annotations
 
+import pathlib
 from functools import partial
 from typing import Sequence
 
@@ -162,6 +163,44 @@ def fig5_counter_sweep(
     return run_experiments(configs)
 
 
+def cost_breakdown_sweep(
+    network: str = "LAN",
+    protocols: Sequence[str] = FIG3_PROTOCOLS,
+    f: int = 2,
+    batch_size: int = 400,
+    payload_size: int = 256,
+    counter_write_ms: float = 20.0,
+    seed: int = 1,
+    trace_dir: "str | None" = None,
+) -> list[ExperimentResult]:
+    """Where does each protocol's commit latency go? (paper Sec. 5, Table 4)
+
+    Runs the Fig. 3 protocol set with :mod:`repro.obs` tracing enabled and
+    returns results whose ``extras`` carry the per-bucket critical-path
+    attribution (``cp_counter_ms``, ``cp_network_ms``, ...).  The headline
+    contrast: Damysus-R/OneShot-R pay a persistent-counter write on every
+    hop of the commit path, Achilles pays none.  ``trace_dir`` additionally
+    writes one Perfetto JSON per protocol there.
+    """
+    configs = []
+    for protocol in protocols:
+        n = (3 * f + 1) if protocol == "flexibft" else (2 * f + 1)
+        duration, warmup = _window(network, n)
+        trace_path = None
+        if trace_dir is not None:
+            safe = protocol.replace("/", "_")
+            trace_path = str(pathlib.Path(trace_dir) /
+                             f"{safe}-f{f}-{network.lower()}-seed{seed}.json")
+        configs.append(dict(
+            protocol=protocol, f=f, network=network,
+            batch_size=batch_size, payload_size=payload_size,
+            counter_write_ms=counter_write_ms,
+            duration_ms=duration, warmup_ms=warmup, seed=seed,
+            trace=True, trace_path=trace_path,
+        ))
+    return run_experiments(configs)
+
+
 def _table2_row(n: int, seed: int = 1) -> dict:
     """One Table 2 row (module-level so it pickles into pool workers)."""
     f = (n - 1) // 2
@@ -256,6 +295,7 @@ __all__ = [
     "fig3_batch_sweep",
     "fig4_latency_vs_throughput",
     "fig5_counter_sweep",
+    "cost_breakdown_sweep",
     "table2_recovery_breakdown",
     "table3_overhead_profiling",
     "table4_counter_latencies",

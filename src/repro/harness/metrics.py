@@ -27,13 +27,20 @@ from repro.chain.transaction import Transaction
 
 @dataclass
 class LatencyStats:
-    """Streaming latency aggregate with percentile support."""
+    """Streaming latency aggregate with percentile support.
+
+    The sorted view is computed lazily and cached: reports ask for several
+    percentiles back to back (p50, p99, ...), and re-sorting tens of
+    thousands of samples per call dominated report generation.
+    """
 
     samples: list[float] = field(default_factory=list)
+    _sorted: Optional[list[float]] = field(default=None, repr=False)
 
     def add(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample (invalidates the cached sorted view)."""
         self.samples.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -51,7 +58,9 @@ class LatencyStats:
         """The ``p``-th percentile (nearest-rank; 0.0 when empty)."""
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None or len(ordered) != len(self.samples):
+            ordered = self._sorted = sorted(self.samples)
         rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -89,6 +98,8 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def on_propose(self, node: int, block: Block, now: float) -> None:
         """Record first proposal time of a block."""
+        if block.hash in self._first_commit_at:
+            return  # already committed (late re-proposal after a view change)
         self._proposed_at.setdefault(block.hash, now)
         self._block_txs.setdefault(block.hash, len(block.txs))
 
@@ -97,6 +108,11 @@ class MetricsCollector:
         if block.hash in self._first_commit_at:
             return
         self._first_commit_at[block.hash] = now
+        # First commit recorded — the per-proposal entries are consumed
+        # here and never read again, so prune them (long saturated runs
+        # propose hundreds of thousands of blocks).
+        proposed = self._proposed_at.pop(block.hash, None)
+        self._block_txs.pop(block.hash, None)
         if now < self.warmup_ms:
             return
         if self.window_start is None:
@@ -104,7 +120,6 @@ class MetricsCollector:
         self.window_end = max(self.window_end, now)
         self.blocks_committed += 1
         self.txs_committed += len(block.txs)
-        proposed = self._proposed_at.get(block.hash)
         if proposed is not None:
             self.commit_latency.add(now - proposed)
 

@@ -95,12 +95,22 @@ def run_experiment(
     seed: int = 1,
     offered_load_tps: Optional[float] = None,
     config_overrides: Optional[dict] = None,
+    trace: bool = False,
+    trace_path: Optional[str] = None,
+    trace_max_spans: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one measured experiment and return its metrics.
 
     ``offered_load_tps`` switches from the saturated workload to an
     open-loop Poisson workload at that rate (Fig. 4); the default measures
     peak throughput.
+
+    ``trace=True`` turns on :mod:`repro.obs` span tracing for the run:
+    the result's ``extras`` gains the critical-path cost breakdown
+    (``cp_<bucket>_ms`` per bucket, ``trace_coverage``, ``trace_digest``,
+    ``trace_spans``), and ``trace_path`` additionally writes the full
+    Perfetto/Chrome trace JSON there.  Tracing never changes simulation
+    outcomes — metrics are identical with it on or off.
     """
     _ensure_registered()
     spec = PROTOCOLS.get(protocol)
@@ -156,11 +166,33 @@ def run_experiment(
         seed=seed,
     )
     cluster.sim.trace.enabled = False  # counters still tick; bodies skipped
+    if trace or trace_path:
+        cluster.sim.obs.enabled = True
+        if trace_max_spans is not None:
+            cluster.sim.obs.max_spans = trace_max_spans
     for generator in generator_holder:
         generator.start()
     cluster.start()
     cluster.run(duration_ms)
     cluster.assert_safety()
+
+    extras: dict = {}
+    if trace or trace_path:
+        from repro.obs.critical_path import critical_path_report
+        from repro.obs.perfetto import write_perfetto
+
+        tracer = cluster.sim.obs
+        tracer.flush_open_phases(cluster.sim.now)
+        breakdown = critical_path_report(tracer, warmup_ms=warmup_ms)
+        for bucket, ms in breakdown.buckets_ms.items():
+            extras[f"cp_{bucket}_ms"] = ms
+        extras["trace_coverage"] = breakdown.coverage
+        extras["trace_blocks_walked"] = breakdown.walked
+        extras["trace_spans"] = tracer.total_spans
+        extras["trace_digest"] = tracer.digest()
+        if trace_path:
+            write_perfetto(tracer, trace_path,
+                           label=f"{protocol}/f={f}/{network.upper()}/seed={seed}")
 
     return ExperimentResult(
         protocol=protocol,
@@ -179,6 +211,7 @@ def run_experiment(
         messages_sent=cluster.network.stats.messages_sent,
         bytes_sent=cluster.network.stats.bytes_sent,
         sim_events=cluster.sim.events_processed,
+        extras=extras,
     )
 
 

@@ -67,6 +67,7 @@ class Network:
         self.stats = NetworkStats()
         self._endpoints: Dict[int, Endpoint] = {}
         self._rng = sim.fork_rng("network")
+        self._obs = sim.obs
 
     # ------------------------------------------------------------------
     def attach(self, node_id: int, endpoint: Endpoint) -> None:
@@ -82,9 +83,13 @@ class Network:
         return sorted(self._endpoints)
 
     # ------------------------------------------------------------------
-    def send(self, src: int, dst: int, payload: Any) -> None:
+    def send(self, src: int, dst: int, payload: Any, cause: int = 0) -> None:
         """Send one message; the reliable channel delivers it unless the
-        adversary (or a partition / detached endpoint) interferes."""
+        adversary (or a partition / detached endpoint) interferes.
+
+        ``cause`` is the id of the work span that queued the message
+        (0 = unknown); it parents the flight's net span when tracing.
+        """
         if src not in self._endpoints:
             raise NetworkError(f"sender {src} is not attached to the network")
         now = self.sim.now
@@ -109,6 +114,10 @@ class Network:
         arrival = departure + actual + extra
 
         self.sim.schedule_at(arrival, lambda: self._deliver(envelope), label=f"net {src}->{dst}")
+        if self._obs.enabled:
+            self._obs.net_span(cause, envelope.msg_id, src, dst,
+                               type(payload).__name__, now, arrival,
+                               envelope.size)
 
     def broadcast(self, src: int, dsts: list[int], payload: Any) -> None:
         """Send ``payload`` to each destination (separate serializations —

@@ -1,0 +1,39 @@
+"""``repro.obs`` — causal span tracing, critical-path attribution, and
+Perfetto export.
+
+The subsystem turns a simulated run into the paper's Sec. 5 cost story:
+
+* :mod:`repro.obs.spans` records parent-linked spans from the physics
+  layers (network flights, CPU-accounted handler work, categorized
+  enclave/crypto/counter/sealing costs) and protocol phases;
+* :mod:`repro.obs.critical_path` walks the span graph backward from each
+  block's first commit and attributes its latency to
+  counter/network/crypto/ecall/storage/queueing/compute buckets
+  (Table 4's breakdown as a first-class report);
+* :mod:`repro.obs.perfetto` exports any trace as Trace Event Format JSON
+  that loads directly in https://ui.perfetto.dev.
+
+Tracing is opt-in: ``sim.obs.enabled = True`` (or ``trace=True`` through
+:func:`repro.harness.runner.run_experiment`, or ``repro trace`` on the
+CLI).  Disabled, every emission site is a single attribute check, so the
+simulator's hot path is unaffected.  Traces are deterministic: identical
+(spec, seed) runs produce byte-identical :meth:`SpanTracer.digest` values.
+"""
+
+from repro.obs.critical_path import (BUCKETS, CostBreakdown, attribute_block,
+                                     critical_path_report)
+from repro.obs.perfetto import to_perfetto, validate_trace, write_perfetto
+from repro.obs.spans import BlockRecord, Span, SpanTracer
+
+__all__ = [
+    "BUCKETS",
+    "BlockRecord",
+    "CostBreakdown",
+    "Span",
+    "SpanTracer",
+    "attribute_block",
+    "critical_path_report",
+    "to_perfetto",
+    "validate_trace",
+    "write_perfetto",
+]

@@ -1,0 +1,200 @@
+"""Perfetto / Chrome-trace JSON export.
+
+Serializes a :class:`~repro.obs.spans.SpanTracer` into the Trace Event
+Format (the JSON dialect both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly):
+
+* each replica becomes a *process* (``pid = node + 1``; pid 0 is the
+  cluster-level track for block lifecycles);
+* ``work`` spans and their categorized cost parts render as nested
+  complete (``"ph": "X"``) events on the node's ``handlers`` thread,
+  ``net`` spans on its ``net-out`` thread;
+* block lifecycles (propose → first commit) are async ``"b"``/``"e"``
+  pairs keyed by block hash, with protocol milestones as async instants;
+* recovery phases and view-change markers land on each node's ``phases``
+  thread.
+
+Timestamps are microseconds (simulated ms × 1000) per the format spec.
+:func:`validate_trace` is the schema check used by tests and
+``make trace-smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional, Union
+
+from repro.obs.spans import SpanTracer
+
+_US = 1000.0  # simulated ms -> trace-format microseconds
+
+# Thread ids within a node's process.
+_TID_HANDLERS = 1
+_TID_NET = 2
+_TID_PHASES = 3
+
+#: pid for cluster-scoped tracks (block lifecycle spans).
+_PID_CLUSTER = 0
+
+
+def _pid(node: Optional[int]) -> int:
+    return _PID_CLUSTER if node is None else node + 1
+
+
+def to_perfetto(tracer: SpanTracer, label: str = "repro") -> dict:
+    """Render the trace as a Trace Event Format document (a plain dict)."""
+    events: list[dict[str, Any]] = []
+    pids: dict[int, str] = {_PID_CLUSTER: f"{label} cluster"}
+
+    for span in tracer.spans:
+        pid = _pid(span.node)
+        if span.node is not None:
+            pids.setdefault(pid, f"node {span.node}")
+        ts = span.t0 * _US
+        dur = span.duration * _US
+        if span.kind == "work":
+            events.append({
+                "name": span.name, "cat": "work", "ph": "X",
+                "pid": pid, "tid": _TID_HANDLERS,
+                "ts": ts, "dur": dur,
+                "args": {"sid": span.sid, "parent": span.parent,
+                         **span.attrs},
+            })
+            # Lay the categorized costs out sequentially inside the CPU
+            # window; durations are exact, in-window placement is the
+            # charge order (all charges share one simulated instant).
+            cursor = span.attrs.get("cpu_start", span.t0)
+            for kind, name, cost in span.parts:
+                events.append({
+                    "name": f"{kind}:{name}", "cat": kind, "ph": "X",
+                    "pid": pid, "tid": _TID_HANDLERS,
+                    "ts": cursor * _US, "dur": cost * _US,
+                    "args": {"in": span.sid},
+                })
+                cursor += cost
+        elif span.kind == "net":
+            events.append({
+                "name": span.name, "cat": "net", "ph": "X",
+                "pid": pid, "tid": _TID_NET,
+                "ts": ts, "dur": dur,
+                "args": {"sid": span.sid, "parent": span.parent,
+                         **span.attrs},
+            })
+        elif span.kind == "phase":
+            events.append({
+                "name": span.name, "cat": "phase", "ph": "X",
+                "pid": pid, "tid": _TID_PHASES,
+                "ts": ts, "dur": dur,
+                "args": {"sid": span.sid, **span.attrs},
+            })
+        else:  # mark
+            events.append({
+                "name": span.name, "cat": "mark", "ph": "i",
+                "pid": pid, "tid": _TID_PHASES,
+                "ts": ts, "s": "t",
+                "args": dict(span.attrs),
+            })
+
+    # Block lifecycles as async spans on the cluster track.
+    for record in tracer.blocks.values():
+        if record.t_commit is None:
+            continue
+        block_id = record.hash[:16]
+        name = f"block v{record.view}"
+        common = {"cat": "block", "id": block_id,
+                  "pid": _PID_CLUSTER, "tid": 1}
+        events.append({
+            "name": name, "ph": "b", "ts": record.t_propose * _US,
+            "args": {"hash": record.hash, "proposer": record.proposer,
+                     "txs": record.txs},
+            **common,
+        })
+        for milestone, node, at in record.milestones:
+            events.append({
+                "name": milestone, "ph": "n", "ts": at * _US,
+                "args": {"node": node},
+                **common,
+            })
+        events.append({
+            "name": name, "ph": "e", "ts": record.t_commit * _US,
+            "args": {"first_commit_node": record.commit_node},
+            **common,
+        })
+
+    for pid, name in sorted(pids.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "trace_digest": tracer.digest(),
+            "spans": len(tracer.spans),
+            "blocks": len(tracer.blocks),
+        },
+    }
+
+
+def write_perfetto(tracer: SpanTracer, path: str, label: str = "repro") -> dict:
+    """Export the trace to ``path``; returns the document written."""
+    document = to_perfetto(tracer, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+    return document
+
+
+#: Required keys per event phase (beyond name/pid/tid/ts, checked always).
+_PHASE_REQUIREMENTS: dict[str, tuple[str, ...]] = {
+    "X": ("dur",),
+    "i": (),
+    "b": ("cat", "id"),
+    "e": ("cat", "id"),
+    "n": ("cat", "id"),
+    "M": (),
+}
+
+
+def validate_trace(document: Union[dict, str, os.PathLike]) -> list[str]:
+    """Check Trace Event Format conformance; returns a list of problems
+    (empty = valid).  Accepts a document dict or a path to a JSON file."""
+    if isinstance(document, (str, os.PathLike)):
+        with open(document, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    problems: list[str] = []
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        return ["document is not a dict with a 'traceEvents' key"]
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASE_REQUIREMENTS:
+            problems.append(f"{where}: unknown or missing ph {phase!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        for key in _PHASE_REQUIREMENTS[phase]:
+            if key not in event:
+                problems.append(f"{where}: ph={phase} missing {key!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+    return problems
+
+
+__all__ = ["to_perfetto", "write_perfetto", "validate_trace"]

@@ -12,6 +12,7 @@ import random
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.spans import SpanTracer
 from repro.sim.events import Event, EventQueue
 from repro.sim.trace import TraceRecorder
 
@@ -25,6 +26,10 @@ class Simulator:
         self.queue = EventQueue()
         self.now: float = 0.0
         self.trace = TraceRecorder()
+        # Causal span tracer (repro.obs); disabled by default — every
+        # emission site guards on `obs.enabled`, so this costs nothing
+        # on untraced runs.
+        self.obs = SpanTracer(self)
         self._running = False
         self._stopped = False
         self._events_processed = 0

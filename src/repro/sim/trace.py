@@ -8,6 +8,7 @@ entirely for long benchmark runs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional
 
@@ -23,12 +24,23 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Appends :class:`TraceEvent` records; supports filtering and counting."""
+    """Appends :class:`TraceEvent` records; supports filtering and counting.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``max_events`` bounds memory on long campaigns: when set, only the
+    most recent ``max_events`` records are retained (a ring buffer), while
+    the per-kind counters keep exact totals for everything ever recorded.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_events: Optional[int] = None) -> None:
         self.enabled = enabled
-        self.events: list[TraceEvent] = []
+        self.events: deque[TraceEvent] = deque(maxlen=max_events)
         self._counters: dict[str, int] = {}
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """The retention bound (None = unbounded)."""
+        return self.events.maxlen
 
     def record(self, time: float, kind: str, node: Optional[int] = None, **detail: Any) -> None:
         """Record one event (no-op when disabled, but counters still tick)."""

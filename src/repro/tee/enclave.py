@@ -69,7 +69,7 @@ def ecall(method: F) -> F:
     @functools.wraps(method)
     def wrapper(self: "Enclave", *args: Any, **kwargs: Any) -> Any:
         self.require_online()
-        self.charge(self.profile.ecall_ms)
+        self.charge_part("ecall", method.__name__, self.profile.ecall_ms)
         return method(self, *args, **kwargs)
 
     return wrapper  # type: ignore[return-value]
@@ -93,6 +93,10 @@ class Enclave:
         self.sealing_key = SealingKey.derive(identity, platform_seed)
         self._online = True
         self._pending_cost = 0.0
+        # Categorized cost parts for repro.obs; None until the host node
+        # drains with tracing on (zero overhead on untraced runs: one
+        # None-check per categorized charge).
+        self._cost_parts: Optional[list[tuple[str, str, float]]] = None
         self._seal_version = 0
         self.reboots = 0
         self.ecalls = 0
@@ -115,6 +119,8 @@ class Enclave:
         """Power-cycle: volatile state is lost; ECALLs gate until restart."""
         self._online = False
         self._pending_cost = 0.0
+        if self._cost_parts is not None:
+            self._cost_parts = []
         self.reboots += 1
         self.wipe_volatile_state()
 
@@ -137,17 +143,26 @@ class Enclave:
         """Accrue ``cost_ms`` against the current invocation."""
         self._pending_cost += cost_ms
 
+    def charge_part(self, kind: str, name: str, cost_ms: float) -> None:
+        """Accrue ``cost_ms`` tagged with a critical-path bucket kind."""
+        self._pending_cost += cost_ms
+        if self._cost_parts is not None:
+            self._cost_parts.append((kind, name, cost_ms))
+
     def charge_sign(self, count: int = 1) -> None:
         """Accrue the cost of ``count`` in-enclave signatures."""
-        self.charge(self.crypto.sign_ms * self.profile.crypto_factor * count)
+        self.charge_part("crypto", "sign",
+                         self.crypto.sign_ms * self.profile.crypto_factor * count)
 
     def charge_verify(self, count: int = 1) -> None:
         """Accrue the cost of verifying ``count`` signatures in-enclave."""
-        self.charge(self.crypto.verify_many(count) * self.profile.crypto_factor)
+        self.charge_part("crypto", "verify",
+                         self.crypto.verify_many(count) * self.profile.crypto_factor)
 
     def charge_hash(self, size_bytes: int) -> None:
         """Accrue the cost of hashing ``size_bytes`` in-enclave."""
-        self.charge(self.crypto.hash_cost(size_bytes) * self.profile.crypto_factor)
+        self.charge_part("crypto", "hash",
+                         self.crypto.hash_cost(size_bytes) * self.profile.crypto_factor)
 
     def drain_cost(self) -> float:
         """Return and reset the cost accrued since the last drain.
@@ -158,12 +173,25 @@ class Enclave:
         cost, self._pending_cost = self._pending_cost, 0.0
         return cost
 
+    def drain_cost_parts(self) -> tuple[float, list[tuple[str, str, float]]]:
+        """Like :meth:`drain_cost` but also returns categorized parts.
+
+        Arms part collection as a side effect: the first traced drain of
+        an enclave returns an empty part list (its bootstrap ECALLs were
+        charged before anyone asked for categories); every drain after
+        that is fully categorized.
+        """
+        cost, self._pending_cost = self._pending_cost, 0.0
+        parts = self._cost_parts if self._cost_parts is not None else []
+        self._cost_parts = []
+        return cost, parts
+
     # ------------------------------------------------------------------
     # Sealing
     # ------------------------------------------------------------------
     def seal_state(self, name: str, payload: Any) -> SealedBlob:
         """Seal ``payload`` to the untrusted store under ``name``."""
-        self.charge(self.profile.seal_ms)
+        self.charge_part("storage", "seal", self.profile.seal_ms)
         self._seal_version += 1
         blob = seal(self.sealing_key, payload, self._seal_version)
         self.store.store(f"{self.identity}/{name}", blob)
@@ -176,7 +204,7 @@ class Enclave:
         honest operation passes ``None`` (latest).  Authentication failures
         raise :class:`repro.errors.SealingError`.
         """
-        self.charge(self.profile.seal_ms)
+        self.charge_part("storage", "unseal", self.profile.seal_ms)
         blob = self.store.fetch(f"{self.identity}/{name}", version_index)
         if blob is None:
             return None

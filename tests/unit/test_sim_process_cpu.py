@@ -133,11 +133,11 @@ class TestTraceRecorder:
         tr = TraceRecorder(enabled=False)
         tr.record(1.0, "commit")
         assert tr.count("commit") == 1
-        assert tr.events == []
+        assert list(tr.events) == []
 
     def test_clear(self):
         tr = TraceRecorder()
         tr.record(1.0, "x")
         tr.clear()
         assert tr.count("x") == 0
-        assert tr.events == []
+        assert list(tr.events) == []
