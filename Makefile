@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench perf chaos chaos-smoke trace-smoke ci
+.PHONY: test bench-quick bench perf chaos chaos-smoke loss-smoke trace-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -21,6 +21,14 @@ chaos:
 # Small deterministic slice of the above for CI.
 chaos-smoke:
 	$(PYTHON) -m repro chaos --seeds 3 --duration 2500 --quiesce 1000
+
+# Lossy-fabric smoke: composed stochastic loss/duplication/corruption on
+# top of the chaos faults, with the reliable transport in the path.  The
+# run fails if any invariant trips or if a lossy campaign shows zero
+# retransmissions (transport silently not engaged).
+loss-smoke:
+	$(PYTHON) -m repro chaos --seeds 3 --duration 2500 --quiesce 1000 \
+		--loss 0.05 --dup 0.02 --corrupt 0.01 --timeout-jitter 0.1
 
 # Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
 # Perfetto traces to traces/, and fails unless the walk attributes >= 95%

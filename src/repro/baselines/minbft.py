@@ -200,6 +200,12 @@ class MinBFTNode(ReplicaBase):
         if certified is not None and certified != msg.block.hash:
             return  # signing this UI would equivocate at msg.block.height
         digest = msg.digest()
+        if certified == msg.block.hash and digest in self._prepares:
+            # Duplicate delivery (fabric dup / transport retransmit) of a
+            # prepare we already UI-certified: re-certifying would burn a
+            # fresh USIG counter value and re-broadcast MCommit for no
+            # protocol gain (message amplification under duplication).
+            return
         self.charge_hash(msg.block.wire_size())
         try:
             # Gaps allowed: commits we dropped as late duplicates may have

@@ -216,6 +216,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     protocols = args.protocols or _CHAOS_PROTOCOLS
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    lossy = bool(args.loss or args.dup or args.corrupt or args.reorder)
     configs = [
         dict(
             protocol=protocol, f=args.faults, network=args.network,
@@ -223,6 +224,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             crashes=args.crashes, rollbacks=args.rollbacks,
             partitions=args.partitions,
             counter_write_ms=args.counter_write_ms,
+            loss=args.loss, dup=args.dup, corrupt=args.corrupt,
+            reorder=args.reorder, timeout_jitter=args.timeout_jitter,
             seed=seed,
         )
         for protocol in protocols
@@ -233,21 +236,38 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     rows = []
     failures = []
+    disengaged = []
     for result in results:
-        rows.append([
+        row = [
             result.protocol, result.f, result.n, result.seed,
             result.committed_height, result.crashes, result.recoveries,
             result.rollbacks_mounted, result.partitions,
-            len(result.violations), result.digest[:12],
-        ])
+        ]
+        if lossy:
+            row += [result.extras.get("fault_dropped", 0),
+                    result.extras.get("retransmissions", 0),
+                    result.extras.get("dup_suppressed", 0),
+                    result.extras.get("corrupt_rejected", 0)]
+        row += [len(result.violations), result.digest[:12]]
+        rows.append(row)
         if result.violations:
             failures.append(result)
+        elif lossy and args.loss > 0 and \
+                result.extras.get("retransmissions", 0) == 0:
+            # A lossy run that never retransmitted means the reliable
+            # transport was not engaged — the campaign proved nothing.
+            disengaged.append(result)
+    headers = ["protocol", "f", "n", "seed", "height", "crashes", "recov",
+               "rollbk", "partit"]
+    if lossy:
+        headers += ["lost", "retrans", "dedup", "rejected"]
+    headers += ["violations", "digest"]
+    fabric = f", loss={args.loss:g} dup={args.dup:g} " \
+             f"reorder={args.reorder:g} corrupt={args.corrupt:g}" if lossy else ""
     print(format_table(
-        ["protocol", "f", "n", "seed", "height", "crashes", "recov",
-         "rollbk", "partit", "violations", "digest"],
-        rows,
+        headers, rows,
         title=f"chaos — {len(protocols)} protocol(s) × {len(seeds)} seed(s), "
-              f"{args.network}, f={args.faults}",
+              f"{args.network}, f={args.faults}{fabric}",
     ))
     for result in failures:
         print(f"\nFAIL {result.protocol} seed {result.seed}: "
@@ -261,9 +281,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"--crashes {args.crashes} --rollbacks {args.rollbacks} "
               f"--partitions {args.partitions} "
               f"--counter-write-ms {args.counter_write_ms:g} "
+              f"--loss {args.loss:g} --dup {args.dup:g} "
+              f"--reorder {args.reorder:g} --corrupt {args.corrupt:g} "
               f"--seed {result.seed}", file=sys.stderr)
+    for result in disengaged:
+        print(f"\nFAIL {result.protocol} seed {result.seed}: loss={args.loss:g} "
+              f"but zero retransmissions (transport not engaged)",
+              file=sys.stderr)
     if failures:
         _dump_failing_chaos_trace(args, failures[0])
+    if failures or disengaged:
         return 1
     print(f"\nall {len(results)} campaigns passed every invariant")
     return 0
@@ -287,6 +314,8 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
         crashes=args.crashes, rollbacks=args.rollbacks,
         partitions=args.partitions,
         counter_write_ms=args.counter_write_ms,
+        loss=args.loss, dup=args.dup, corrupt=args.corrupt,
+        reorder=args.reorder, timeout_jitter=args.timeout_jitter,
     )
     try:
         run_chaos(spec, failure.seed, trace_path=str(path))
@@ -383,6 +412,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rollback attacks per campaign")
     p_chaos.add_argument("--partitions", type=int, default=1,
                          help="partition windows per campaign")
+    p_chaos.add_argument("--loss", type=float, default=0.0,
+                         help="per-message drop probability (installs the "
+                              "reliable transport when nonzero)")
+    p_chaos.add_argument("--dup", type=float, default=0.0,
+                         help="per-message duplication probability")
+    p_chaos.add_argument("--reorder", type=float, default=0.0,
+                         help="per-message reorder (extra jittered delay) "
+                              "probability")
+    p_chaos.add_argument("--corrupt", type=float, default=0.0,
+                         help="per-message corruption probability (detected "
+                              "and rejected at the receiver, then repaired "
+                              "by retransmission)")
+    p_chaos.add_argument("--timeout-jitter", type=float, default=0.0,
+                         help="pacemaker timeout jitter fraction "
+                              "(de-synchronizes view-change storms)")
     p_chaos.add_argument("--counter-write-ms", type=float, default=5.0,
                          help="persistent-counter write latency for -R variants")
     p_chaos.add_argument("--trace-dir", default="traces",

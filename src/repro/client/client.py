@@ -114,6 +114,12 @@ class SimulatedClient(Process):
         self._next_tx_id = 0
         # one outstanding fast read per key
         self.reads: dict[str, ReadOperation] = {}
+        #: Retry broadcasts issued (no reply within the timeout).
+        self.retransmissions = 0
+        #: Replies ignored because the transaction was already answered —
+        #: a duplicated/late reply must never double-count a commit for
+        #: throughput/latency metrics (``replied_at`` is written once).
+        self.duplicate_replies = 0
         network.attach(self.client_id, self)
 
     # ------------------------------------------------------------------
@@ -137,6 +143,7 @@ class SimulatedClient(Process):
         record = self.records.get(tx_key)
         if record is None or record.replied_at is not None:
             return
+        self.retransmissions += 1
         # Leader may be faulty: broadcast to every replica.
         for replica in range(self.n_replicas):
             self.network.send(self.client_id, replica,
@@ -170,7 +177,10 @@ class SimulatedClient(Process):
         if not isinstance(payload, ClientReply):
             return
         record = self.records.get(payload.tx_key)
-        if record is None or record.replied_at is not None:
+        if record is None:
+            return
+        if record.replied_at is not None:
+            self.duplicate_replies += 1
             return
         record.replied_at = self.sim.now
         record.replier = payload.replica

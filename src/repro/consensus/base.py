@@ -94,6 +94,9 @@ class ReplicaBase(Process):
         self._sync_requested: set[str] = set()
         # tx key -> client network address awaiting a reply
         self._client_reply_to: dict[tuple[int, int], int] = {}
+        # Duplicate client requests absorbed (fabric duplication or client
+        # retransmission): observability for the lossy-fabric campaigns.
+        self.duplicate_client_requests = 0
         # Live executed state (enables the Sec. 6.1 fast-read path).
         self.state_machine = None
         if config.maintain_state:
@@ -463,6 +466,13 @@ class ReplicaBase(Process):
                 replica=self.node_id,
             ))
             return
+        if msg.tx.key in self._client_reply_to:
+            # Duplicate delivery (fabric dup or client retransmission) of a
+            # transaction already pending here: refresh the reply route but
+            # never re-submit it to the mempool.
+            self.duplicate_client_requests += 1
+            self._client_reply_to[msg.tx.key] = msg.reply_to
+            return
         self._client_reply_to[msg.tx.key] = msg.reply_to
         submit(msg.tx)
 
@@ -522,6 +532,11 @@ class ReplicaBase(Process):
         self._outbox = []
         self._awaiting_ancestor.clear()
         self._sync_requested.clear()
+        # Transport state dies with the host: abandon in-flight frames and
+        # start a fresh stream epoch (no-op without a reliable channel).
+        reset_channel = getattr(self.network, "reset_channel", None)
+        if reset_channel is not None:
+            reset_channel(self.node_id)
         self.sim.trace.record(self.sim.now, "reboot", self.node_id)
 
 

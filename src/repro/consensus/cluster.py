@@ -18,8 +18,10 @@ from repro.crypto.keys import KeyPair, Keyring, generate_keypairs
 from repro.errors import ConfigurationError
 from repro.net.adversary import NetworkAdversary
 from repro.net.bandwidth import BandwidthModel
+from repro.net.faults import LinkFaultModel
 from repro.net.network import Network
 from repro.net.synchrony import PartialSynchrony
+from repro.net.transport import TransportConfig
 from repro.sim.loop import Simulator
 
 
@@ -123,19 +125,24 @@ def build_cluster(
     adversary: Optional[NetworkAdversary] = None,
     synchrony: Optional[PartialSynchrony] = None,
     bandwidth: Optional[BandwidthModel] = None,
+    faults: Optional[LinkFaultModel] = None,
+    transport: Optional[TransportConfig] = None,
     byzantine_factories: Optional[dict[int, Callable[..., ReplicaBase]]] = None,
 ) -> Cluster:
     """Assemble a cluster of ``config.n`` replicas.
 
     ``node_factory(sim, network, node_id, config, keypair, keyring, source,
     listener)`` builds one replica; ``byzantine_factories`` overrides the
-    factory for chosen node ids (fault-injection tests).
+    factory for chosen node ids (fault-injection tests).  ``faults``
+    injects probabilistic link faults; ``transport`` gives every endpoint
+    a reliable channel that survives them.
     """
     if byzantine_factories and any(i >= config.n for i in byzantine_factories):
         raise ConfigurationError("byzantine node id outside the committee")
     sim = Simulator(seed=seed)
     network = Network(sim, latency=latency, adversary=adversary,
-                      synchrony=synchrony, bandwidth=bandwidth)
+                      synchrony=synchrony, bandwidth=bandwidth,
+                      faults=faults, transport=transport)
     keypairs = generate_keypairs(range(config.n), seed=seed)
     keyring = Keyring.from_keypairs(keypairs)
     source = source_factory(sim) if source_factory is not None else None

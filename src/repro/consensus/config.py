@@ -68,6 +68,11 @@ class ProtocolConfig:
     counter_factory: Optional[Callable[[], PersistentCounter]] = None
     #: Base view timeout (ms); the pacemaker doubles it on repeated failure.
     base_timeout_ms: float = 500.0
+    #: Deterministic pacemaker jitter: each armed view timeout is scaled
+    #: by ``1 + timeout_jitter * U(0, 1)`` from a per-replica RNG stream,
+    #: de-synchronizing view-change storms under message loss.  0 (the
+    #: default) arms exact timeouts and draws nothing.
+    timeout_jitter: float = 0.0
     #: Retry period for the recovery protocol (ms).
     recovery_retry_ms: float = 50.0
     #: How long a leader with an empty mempool waits before re-checking.

@@ -15,7 +15,7 @@ certificate to the next leader).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim.process import Process, Timer
 
@@ -29,6 +29,7 @@ class Pacemaker:
         base_timeout_ms: float,
         on_timeout: Callable[[int], None],
         max_backoff_doublings: int = 10,
+        jitter: Optional[float] = None,
     ) -> None:
         self._process = process
         self.base_timeout_ms = base_timeout_ms
@@ -38,6 +39,17 @@ class Pacemaker:
         self._consecutive_timeouts = 0
         self.current_view = 0
         self.timeouts_fired = 0
+        # Deterministic per-replica jitter on armed timeouts: replicas that
+        # lose the same message must not all time out at the same instant
+        # (synchronized view-change storms re-collide forever under loss).
+        # Defaults to the replica config's ``timeout_jitter``; the RNG
+        # stream is forked lazily so jitter=0 draws nothing and perturbs
+        # no other stream.
+        if jitter is None:
+            config = getattr(process, "config", None)
+            jitter = getattr(config, "timeout_jitter", 0.0)
+        self.jitter = jitter
+        self._rng = None
 
     @property
     def armed(self) -> bool:
@@ -50,10 +62,22 @@ class Pacemaker:
         doublings = min(self._consecutive_timeouts, self._max_doublings)
         return self.base_timeout_ms * (2 ** doublings)
 
+    def _armed_timeout_ms(self) -> float:
+        """The timeout to arm: the backoff value plus deterministic
+        per-replica jitter (``current_timeout_ms`` stays jitter-free so
+        backoff behaviour remains exactly inspectable)."""
+        timeout = self.current_timeout_ms
+        if self.jitter <= 0.0:
+            return timeout
+        if self._rng is None:
+            self._rng = self._process.sim.fork_rng(
+                f"pacemaker/{self._process.name}")
+        return timeout * (1.0 + self.jitter * self._rng.random())
+
     def view_started(self, view: int) -> None:
         """(Re)arm the timer for ``view``."""
         self.current_view = view
-        self._timer.start(self.current_timeout_ms, self._fire)
+        self._timer.start(self._armed_timeout_ms(), self._fire)
 
     def progress(self) -> None:
         """A block committed: reset backoff (the view advanced healthily)."""
@@ -67,7 +91,7 @@ class Pacemaker:
         replica would never time out again and could stall until an
         external message arrives.
         """
-        self._timer.start(self.current_timeout_ms, self._fire)
+        self._timer.start(self._armed_timeout_ms(), self._fire)
 
     def stop(self) -> None:
         """Disarm (used on crash)."""

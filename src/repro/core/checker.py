@@ -280,6 +280,17 @@ class AchillesChecker(Enclave):
           in view ``v'`` before the crash, and the New-View optimization
           means ``v'+1`` may already have a proposal keyed to its vote
           (Lemma 1), so both views are skipped.
+
+        The latest-stored block, by contrast, is adopted from the reply
+        with the highest ``prepv`` — NOT from ``leader_reply``.  Any f+1
+        replies intersect the f+1 storers of the latest committed block in
+        at least one node, so the maximum ``prepv`` never trails a commit;
+        the highest-*view* leader, however, may have missed that block's
+        proposal entirely (e.g. on a lossy fabric), and adopting its stale
+        ⟨preph, prepv⟩ would roll this node's storage state back past a
+        block it helped commit — enough view certificates like that let a
+        later leader re-propose the committed height (observed as a
+        conflicting commit in the lossy chaos campaigns).
         """
         if not self.recovering:
             raise EnclaveAbort("checker is not in recovery")
@@ -309,12 +320,16 @@ class AchillesChecker(Enclave):
                 "highest-view reply must come from the leader of that view"
             )
 
+        best_stored = max(
+            (r for r in replies if r.signer in valid_signers),
+            key=lambda r: r.prepv,
+        )
         st = self.state
         st.vi = leader_reply.vi + 2
         st.proposed = False
         st.voted = False
-        st.prepv = leader_reply.prepv
-        st.preph = leader_reply.preh
+        st.prepv = best_stored.prepv
+        st.preph = best_stored.preh
         self.recovering = False
         self._pending_nonce = None
 

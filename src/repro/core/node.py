@@ -642,7 +642,7 @@ class AchillesNode(ReplicaBase):
             # The highest-view reply must come from that view's leader;
             # wait for more replies or the retry timer.
             return
-        leader_reply, leader_block, leader_qc = entry
+        leader_reply = entry[0]
         try:
             view_cert = self.checker.tee_recover(leader_reply, replies)
         except EnclaveAbort:
@@ -653,13 +653,19 @@ class AchillesNode(ReplicaBase):
         self._recovery_timer.cancel()
         self._recovery_request = None
         self.status = NodeStatus.RUNNING
-        if leader_block is not None:
-            self.store.add(leader_block)
-            self.preb_block = leader_block
-            self.preb_qc = leader_qc
-            if leader_qc is not None and leader_qc.block_hash == leader_block.hash:
+        # Adopt the block the checker adopted: the reply with the highest
+        # prepv (which intersects any commit quorum), not the highest-view
+        # leader's — that leader may never have stored the latest commit.
+        best_signer, (best_reply, best_block, best_qc) = max(
+            self._recovery_replies.items(), key=lambda item: item[1][0].prepv
+        )
+        if best_block is not None and best_block.hash == best_reply.preh:
+            self.store.add(best_block)
+            self.preb_block = best_block
+            self.preb_qc = best_qc
+            if best_qc is not None and best_qc.block_hash == best_block.hash:
                 # Commit it once the ancestry is available.
-                self._handle_commitment(leader_qc, src=leader_reply.signer)
+                self._handle_commitment(best_qc, src=best_signer)
         self.view = view_cert.current_view
         self.pacemaker.view_started(self.view)
         self.send_to(self.leader_of(self.view), NewView(cert=view_cert))

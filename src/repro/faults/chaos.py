@@ -74,6 +74,23 @@ class ChaosSpec:
     max_rate_tps: float = 8000.0
     #: Persistent-counter write latency for -R variants.
     counter_write_ms: float = 5.0
+    #: Probabilistic link-fault rates (fabric-wide, every message):
+    #: loss / duplication / reordering / corruption probabilities.
+    loss: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    #: Max extra delay a reordered message picks up.
+    reorder_jitter_ms: float = 8.0
+    #: Reliable-transport wiring: None installs the transport exactly when
+    #: any fault rate is nonzero (the loss=0 equivalence mode); True/False
+    #: force it on/off (False under loss is for dedicated safety tests —
+    #: liveness is then out the window by design).
+    transport: Optional[bool] = None
+    #: Transport base retransmission timeout.
+    transport_rto_ms: float = 30.0
+    #: Deterministic pacemaker timeout jitter (see ProtocolConfig).
+    timeout_jitter: float = 0.0
     #: Budget added to each crash window when checking the f-bound: a
     #: rebooted node is still effectively faulty while it runs recovery,
     #: and two concurrent recoveries can deadlock an f=1 committee.
@@ -405,7 +422,9 @@ def run_chaos(spec: ChaosSpec, seed: int,
     from repro.client.workload import OpenLoopGenerator, QueueSource
     from repro.consensus.cluster import build_cluster
     from repro.harness.invariants import InvariantMonitor
+    from repro.net.faults import LinkFaultModel
     from repro.net.latency import LAN_PROFILE, WAN_PROFILE
+    from repro.net.transport import TransportConfig
     from repro.tee.counters import ConfigurableCounter
     from repro.tee.enclave import EnclaveProfile
 
@@ -430,9 +449,24 @@ def run_chaos(spec: ChaosSpec, seed: int,
         counter_factory=counter_factory,
         enclave=enclave,
         base_timeout_ms=spec.base_timeout_ms,
+        timeout_jitter=spec.timeout_jitter,
         recovery_retry_ms=spec.recovery_retry_ms,
         seed=seed,
     )
+
+    # Lossy fabric + reliable transport.  Both are pure functions of the
+    # spec: at all-zero rates no fault model exists, the transport (when
+    # auto) is absent, and the run is bit-identical to the pre-fault-layer
+    # baseline — the digests below pin exactly that.
+    faults = None
+    if spec.loss or spec.dup or spec.reorder or spec.corrupt:
+        faults = LinkFaultModel(loss=spec.loss, dup=spec.dup,
+                                reorder=spec.reorder, corrupt=spec.corrupt,
+                                reorder_jitter_ms=spec.reorder_jitter_ms)
+    use_transport = spec.transport if spec.transport is not None \
+        else faults is not None
+    transport = TransportConfig(base_rto_ms=spec.transport_rto_ms) \
+        if use_transport else None
 
     monitor = InvariantMonitor()
     generator_holder: list[OpenLoopGenerator] = []
@@ -455,6 +489,8 @@ def run_chaos(spec: ChaosSpec, seed: int,
         listener=monitor,
         seed=seed,
         adversary=NetworkAdversary(),
+        faults=faults,
+        transport=transport,
     )
     cluster.sim.trace.enabled = False
     if trace_path is not None:
@@ -495,6 +531,21 @@ def run_chaos(spec: ChaosSpec, seed: int,
         tips, violations, cluster.sim.events_processed,
     )
 
+    extras: dict = {}
+    if faults is not None or transport is not None:
+        stats = cluster.network.stats
+        totals = cluster.network.transport_totals()
+        extras["fault_dropped"] = stats.fault_dropped
+        extras["fault_duplicated"] = stats.fault_duplicated
+        extras["fault_corrupted"] = stats.fault_corrupted
+        extras["corrupt_rejected"] = stats.corrupt_rejected
+        extras["duplicates_delivered"] = stats.duplicates_delivered
+        extras["retransmissions"] = totals.get("retransmissions", 0)
+        extras["dup_suppressed"] = totals.get("dup_suppressed", 0)
+        extras["acks_sent"] = totals.get("acks_sent", 0)
+        extras["window_evictions"] = totals.get("window_evictions", 0)
+        extras["transport_engaged"] = cluster.network.transport_engaged
+
     return ChaosResult(
         protocol=spec.protocol,
         f=spec.f,
@@ -510,6 +561,7 @@ def run_chaos(spec: ChaosSpec, seed: int,
         violations=violations,
         sim_events=cluster.sim.events_processed,
         digest=digest,
+        extras=extras,
     )
 
 

@@ -15,6 +15,11 @@ run* rather than only at the end:
 * **certified-commit** — no block stays committed without a valid f+1
   commitment certificate covering it (protocols report certificates via
   the optional ``on_commit_certificate`` listener hook);
+* **no-duplicate-commit** — a node never commits the same block twice
+  (duplicated/retransmitted messages must be absorbed idempotently);
+* **exactly-once-apply** — a transaction is applied at most once per
+  node: no tx key appears in two blocks a node committed (the
+  state-machine-facing face of dedup under a duplicating fabric);
 * **checker-monotonicity** — a trusted component's view number ``vi``
   never decreases within one incarnation of its host;
 * **counter-monotonicity** — persistent counter values never decrease,
@@ -74,6 +79,10 @@ class InvariantMonitor:
         self._canonical: dict[int, tuple[str, int]] = {}
         # node -> height of its latest commit
         self._tip_height: dict[int, int] = {}
+        # node -> hashes of every block it committed (no-duplicate-commit)
+        self._committed_hashes: dict[int, set[str]] = {}
+        # node -> (tx key -> block hash it was applied in) (exactly-once)
+        self._applied_txs: dict[int, dict[tuple, str]] = {}
         # node -> committed blocks not yet covered by a certificate
         self._uncovered: dict[int, deque[tuple[int, str]]] = {}
         # nodes that ever reported a certificate (certified-commit applies)
@@ -152,6 +161,27 @@ class InvariantMonitor:
                 f"(must advance one block at a time)",
             )
         self._tip_height[node] = height
+
+        committed = self._committed_hashes.setdefault(node, set())
+        if block_hash in committed:
+            self._violate(
+                "no-duplicate-commit", node,
+                f"block {block_hash[:12]} (height {height}) committed twice "
+                f"(duplicate delivery not absorbed)",
+            )
+        committed.add(block_hash)
+
+        applied = self._applied_txs.setdefault(node, {})
+        for tx in block.txs:
+            earlier = applied.get(tx.key)
+            if earlier is not None:
+                self._violate(
+                    "exactly-once-apply", node,
+                    f"tx {tx.key} applied twice: in block {earlier[:12]} "
+                    f"and again in {block_hash[:12]} (height {height})",
+                )
+            else:
+                applied[tx.key] = block_hash
 
         self._uncovered.setdefault(node, deque()).append((height, block_hash))
         if self.inner is not None:

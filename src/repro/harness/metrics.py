@@ -90,6 +90,10 @@ class MetricsCollector:
         self.e2e_latency = LatencyStats()
         self.txs_committed = 0
         self.blocks_committed = 0
+        #: Replies beyond the first per transaction (every replica replies,
+        #: and a duplicating fabric re-delivers) — observed, never counted
+        #: into throughput or latency.
+        self.duplicate_replies = 0
         self.window_start: Optional[float] = None
         self.window_end: float = 0.0
 
@@ -127,6 +131,7 @@ class MetricsCollector:
         """Record the first reply per transaction (adds the client hop)."""
         key = tx.key
         if key in self._replied:
+            self.duplicate_replies += 1
             return
         self._replied.add(key)
         if now < self.warmup_ms:
@@ -145,7 +150,10 @@ class MetricsCollector:
             # Warmup replies still mark transactions as replied (the first
             # reply wins), they just don't contribute latency samples.
             for tx in txs:
-                replied.add(tx.key)
+                if tx.key in replied:
+                    self.duplicate_replies += 1
+                else:
+                    replied.add(tx.key)
             return
         record = self.e2e_latency.add
         arrival = now + self.reply_one_way_ms
@@ -154,6 +162,8 @@ class MetricsCollector:
             if key not in replied:
                 replied.add(key)
                 record(arrival - tx.created_at)
+            else:
+                self.duplicate_replies += 1
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -182,6 +192,7 @@ class MetricsCollector:
             "commit_latency_p99_ms": self.commit_latency.p99,
             "e2e_latency_ms": self.e2e_latency.mean,
             "e2e_latency_p99_ms": self.e2e_latency.p99,
+            "duplicate_replies": self.duplicate_replies,
         }
 
 

@@ -20,7 +20,9 @@ from repro.consensus.cluster import Cluster, build_cluster
 from repro.consensus.config import ProtocolConfig
 from repro.errors import ConfigurationError
 from repro.harness.metrics import MetricsCollector
+from repro.net.faults import LinkFaultModel
 from repro.net.latency import LAN_PROFILE, WAN_PROFILE
+from repro.net.transport import TransportConfig
 from repro.tee.counters import ConfigurableCounter
 from repro.tee.enclave import EnclaveProfile
 
@@ -98,12 +100,24 @@ def run_experiment(
     trace: bool = False,
     trace_path: Optional[str] = None,
     trace_max_spans: Optional[int] = None,
+    loss: float = 0.0,
+    dup: float = 0.0,
+    reorder: float = 0.0,
+    corrupt: float = 0.0,
+    transport: Optional[TransportConfig] = None,
 ) -> ExperimentResult:
     """Run one measured experiment and return its metrics.
 
     ``offered_load_tps`` switches from the saturated workload to an
     open-loop Poisson workload at that rate (Fig. 4); the default measures
     peak throughput.
+
+    ``loss``/``dup``/``reorder``/``corrupt`` configure a
+    :class:`~repro.net.faults.LinkFaultModel` on the fabric; any nonzero
+    rate also installs the reliable transport (pass ``transport`` to
+    override its knobs, or pass it alone to prove the loss=0 equivalence:
+    a passive transport changes no metric).  When the fault layer is on,
+    ``extras`` gains ``net_*`` retransmission/dedup/goodput counters.
 
     ``trace=True`` turns on :mod:`repro.obs` span tracing for the run:
     the result's ``extras`` gains the critical-path cost breakdown
@@ -157,6 +171,13 @@ def run_experiment(
         generator_holder.append(generator)
         return queue
 
+    faults = None
+    if loss or dup or reorder or corrupt:
+        faults = LinkFaultModel(loss=loss, dup=dup, reorder=reorder,
+                                corrupt=corrupt)
+        if transport is None:
+            transport = TransportConfig()
+
     cluster = build_cluster(
         node_factory=spec.node_cls,
         config=config,
@@ -164,6 +185,8 @@ def run_experiment(
         source_factory=source_factory,
         listener=collector,
         seed=seed,
+        faults=faults,
+        transport=transport,
     )
     cluster.sim.trace.enabled = False  # counters still tick; bodies skipped
     if trace or trace_path:
@@ -177,6 +200,22 @@ def run_experiment(
     cluster.assert_safety()
 
     extras: dict = {}
+    if faults is not None:
+        stats = cluster.network.stats
+        totals = cluster.network.transport_totals()
+        extras["net_fault_dropped"] = stats.fault_dropped
+        extras["net_fault_duplicated"] = stats.fault_duplicated
+        extras["net_fault_corrupted"] = stats.fault_corrupted
+        extras["net_corrupt_rejected"] = stats.corrupt_rejected
+        extras["net_retransmissions"] = totals.get("retransmissions", 0)
+        extras["net_dup_suppressed"] = totals.get("dup_suppressed", 0)
+        extras["net_acks_sent"] = totals.get("acks_sent", 0)
+        extras["net_window_evictions"] = totals.get("window_evictions", 0)
+        if stats.messages_sent:
+            # Unique application deliveries per message offered to the wire.
+            extras["net_goodput"] = round(
+                (stats.messages_delivered - stats.duplicates_delivered)
+                / stats.messages_sent, 4)
     if trace or trace_path:
         from repro.obs.critical_path import critical_path_report
         from repro.obs.perfetto import write_perfetto

@@ -18,7 +18,14 @@ from repro.net.geo import GeoLatencyModel
 from repro.net.bandwidth import BandwidthModel
 from repro.net.synchrony import PartialSynchrony
 from repro.net.adversary import NetworkAdversary, LinkRule
+from repro.net.faults import FaultRates, FaultVerdict, LinkFaultModel
 from repro.net.network import Network, NetworkStats
+from repro.net.transport import (
+    AckPayload,
+    ChannelStats,
+    ReliableChannel,
+    TransportConfig,
+)
 
 __all__ = [
     "Envelope",
@@ -32,6 +39,13 @@ __all__ = [
     "PartialSynchrony",
     "NetworkAdversary",
     "LinkRule",
+    "FaultRates",
+    "FaultVerdict",
+    "LinkFaultModel",
     "Network",
     "NetworkStats",
+    "AckPayload",
+    "ChannelStats",
+    "ReliableChannel",
+    "TransportConfig",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 #: Fixed framing overhead per message (headers, type tags, lengths).
 HEADER_BYTES = 64
@@ -63,6 +63,17 @@ class Envelope:
     size: int
     sent_at: float
     msg_id: int = field(default_factory=lambda: next(_envelope_ids))
+    #: Transport header (:class:`repro.net.transport.Frame`) or None when
+    #: no reliable channel stamped the send.  Its estimated wire size is
+    #: part of :data:`HEADER_BYTES`, so stamping never changes ``size``.
+    frame: Optional[Any] = None
+    #: HMAC-style integrity tag over the header (set by the sender when
+    #: the fabric can corrupt; verified by the receiver).
+    auth: Optional[str] = None
+    #: The fabric corrupted this copy in flight (must be detected).
+    corrupted: bool = False
+    #: This copy was duplicated by the fabric (not sent by the sender).
+    duplicate: bool = False
 
     @classmethod
     def make(cls, src: int, dst: int, payload: Any, sent_at: float) -> "Envelope":
@@ -74,6 +85,21 @@ class Envelope:
             size=HEADER_BYTES + wire_size(payload),
             sent_at=sent_at,
         )
+
+    def fabric_duplicate(self) -> "Envelope":
+        """A second in-flight copy of this envelope (fault-model
+        duplication); gets its own ``msg_id`` but shares the frame."""
+        return Envelope(
+            src=self.src, dst=self.dst, payload=self.payload, size=self.size,
+            sent_at=self.sent_at, frame=self.frame, auth=self.auth,
+            corrupted=self.corrupted, duplicate=True,
+        )
+
+    def corrupt(self) -> None:
+        """Flip bits in flight: the integrity tag no longer verifies."""
+        self.corrupted = True
+        if self.auth is not None:
+            self.auth = "!" + self.auth
 
 
 __all__ = ["Envelope", "wire_size", "HEADER_BYTES", "SIGNATURE_BYTES", "HASH_BYTES"]

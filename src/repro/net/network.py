@@ -1,12 +1,27 @@
 """The network fabric.
 
-Combines latency profile, bandwidth model, partial synchrony, and the
-adversary into a single ``send``/``broadcast`` API used by every protocol.
+Combines latency profile, bandwidth model, partial synchrony, the
+adversary, the probabilistic link-fault model, and the reliable-delivery
+transport into a single ``send``/``broadcast`` API used by every protocol.
 Delivery invokes the destination endpoint's ``deliver(envelope)`` method
 (consensus replicas and clients both implement it).
 
-Statistics (message and byte counts, per-link and per-kind) feed Table 1's
-message-complexity measurements.
+Fault layering, in order, for every offered message:
+
+1. :class:`~repro.net.adversary.NetworkAdversary` — targeted, scheduled
+   interference (partitions, link rules);
+2. :class:`~repro.net.faults.LinkFaultModel` — background stochastic
+   loss/duplication/reordering/corruption;
+3. bandwidth serialization, latency sampling, partial-synchrony shaping.
+
+When a :class:`~repro.net.transport.TransportConfig` is supplied, every
+attached endpoint gets a :class:`~repro.net.transport.ReliableChannel`
+that wins delivery back under 1–3 (see :mod:`repro.net.transport` for the
+passive-at-loss=0 equivalence guarantee).
+
+Statistics (message and byte counts, per-link and per-kind, and the
+adversary/fault/undeliverable drop split) feed Table 1's
+message-complexity measurements and the chaos reports.
 """
 
 from __future__ import annotations
@@ -17,9 +32,16 @@ from typing import Any, Dict, Optional, Protocol
 from repro.errors import NetworkError
 from repro.net.adversary import NetworkAdversary
 from repro.net.bandwidth import BandwidthModel
+from repro.net.faults import LinkFaultModel
 from repro.net.latency import LAN_PROFILE
 from repro.net.message import Envelope
 from repro.net.synchrony import PartialSynchrony
+from repro.net.transport import (
+    ReliableChannel,
+    TransportConfig,
+    frame_intact,
+    seal_envelope,
+)
 from repro.sim.loop import Simulator
 
 
@@ -32,13 +54,40 @@ class Endpoint(Protocol):
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters.
+
+    Drops are split by cause — adversary rules, the stochastic fault
+    model, and undeliverable (destination detached) — because a chaos
+    report must say *who* lost the message; ``messages_dropped`` sums
+    them for backward compatibility.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
-    messages_dropped: int = 0
+    #: Dropped by an adversary rule or partition (targeted interference).
+    adversary_dropped: int = 0
+    #: Dropped by the probabilistic link-fault model (background loss).
+    fault_dropped: int = 0
+    #: Dropped because the destination was detached at arrival time.
+    undeliverable_dropped: int = 0
+    #: Second copies created by the fault model (not sender traffic).
+    fault_duplicated: int = 0
+    #: Fabric-duplicated copies that reached an application endpoint
+    #: (with the transport engaged this stays ~0: dedup suppresses them).
+    duplicates_delivered: int = 0
+    #: Copies corrupted in flight by the fault model.
+    fault_corrupted: int = 0
+    #: Arrivals rejected by the receiver's integrity check (detected
+    #: corruption — never silently delivered).
+    corrupt_rejected: int = 0
     bytes_sent: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def messages_dropped(self) -> int:
+        """All drops, regardless of cause."""
+        return (self.adversary_dropped + self.fault_dropped
+                + self.undeliverable_dropped)
 
     def note_send(self, envelope: Envelope) -> None:
         """Count an accepted send."""
@@ -49,7 +98,7 @@ class NetworkStats:
 
 
 class Network:
-    """Reliable, latency-modelled message fabric."""
+    """Latency-modelled message fabric with optional loss + transport."""
 
     def __init__(
         self,
@@ -58,48 +107,120 @@ class Network:
         bandwidth: Optional[BandwidthModel] = None,
         synchrony: Optional[PartialSynchrony] = None,
         adversary: Optional[NetworkAdversary] = None,
+        faults: Optional[LinkFaultModel] = None,
+        transport: Optional[TransportConfig] = None,
     ) -> None:
         self.sim = sim
         self.latency = latency
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthModel()
         self.synchrony = synchrony if synchrony is not None else PartialSynchrony.always_synchronous()
         self.adversary = adversary if adversary is not None else NetworkAdversary()
+        self.faults = faults.bind(sim) if faults is not None else None
+        self.transport = transport
         self.stats = NetworkStats()
         self._endpoints: Dict[int, Endpoint] = {}
+        self._channels: Dict[int, ReliableChannel] = {}
+        self._seal_sends = faults is not None and faults.corrupt_possible
         self._rng = sim.fork_rng("network")
         self._obs = sim.obs
+
+    @property
+    def transport_engaged(self) -> bool:
+        """True while channels actively ACK/retransmit (vs passive
+        sequence stamping only)."""
+        if self.transport is None:
+            return False
+        if self.transport.engage == "always":
+            return True
+        return self.faults is not None and self.faults.active
 
     # ------------------------------------------------------------------
     def attach(self, node_id: int, endpoint: Endpoint) -> None:
         """Register an endpoint under ``node_id`` (replacing any previous)."""
         self._endpoints[node_id] = endpoint
+        if self.transport is not None:
+            channel = self._channels.get(node_id)
+            if channel is None:
+                channel = ReliableChannel(self, node_id, self.transport)
+                self._channels[node_id] = channel
+            channel.endpoint = endpoint
+            channel.engaged = self.transport_engaged
 
     def detach(self, node_id: int) -> None:
         """Remove an endpoint; traffic to it is dropped until re-attached."""
         self._endpoints.pop(node_id, None)
 
+    def is_attached(self, node_id: int) -> bool:
+        """Is an endpoint currently registered under ``node_id``?"""
+        return node_id in self._endpoints
+
     def endpoints(self) -> list[int]:
         """Currently attached node ids, sorted."""
         return sorted(self._endpoints)
 
+    def channel(self, node_id: int) -> Optional[ReliableChannel]:
+        """The reliable channel of ``node_id`` (None without transport)."""
+        return self._channels.get(node_id)
+
+    def reset_channel(self, node_id: int) -> None:
+        """Reset ``node_id``'s transport state (host reboot)."""
+        channel = self._channels.get(node_id)
+        if channel is not None:
+            channel.reset()
+
+    def transport_totals(self) -> Dict[str, int]:
+        """Summed :class:`~repro.net.transport.ChannelStats` counters
+        across every channel (empty without transport)."""
+        totals: Dict[str, int] = {}
+        for node_id in sorted(self._channels):
+            self._channels[node_id].stats.add_into(totals)
+        return totals
+
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, payload: Any, cause: int = 0) -> None:
-        """Send one message; the reliable channel delivers it unless the
-        adversary (or a partition / detached endpoint) interferes.
+        """Send one message; the fabric delivers it unless the adversary,
+        the fault model, or a detached endpoint interferes.
 
         ``cause`` is the id of the work span that queued the message
         (0 = unknown); it parents the flight's net span when tracing.
         """
         if src not in self._endpoints:
             raise NetworkError(f"sender {src} is not attached to the network")
-        now = self.sim.now
-        envelope = Envelope.make(src=src, dst=dst, payload=payload, sent_at=now)
+        envelope = Envelope.make(src=src, dst=dst, payload=payload,
+                                 sent_at=self.sim.now)
+        channel = self._channels.get(src)
+        if channel is not None:
+            channel.stamp(envelope)
+        self.transmit(envelope, cause)
 
+    def broadcast(self, src: int, dsts: list[int], payload: Any) -> None:
+        """Send ``payload`` to each destination (separate serializations —
+        this is what charges an O(n) sender cost for a broadcast)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload)
+
+    def transmit(self, envelope: Envelope, cause: int = 0,
+                 retransmit: bool = False) -> None:
+        """Put one (already stamped) envelope on the wire.
+
+        Shared by :meth:`send` and channel retransmissions: a retransmit
+        re-faces the adversary, the fault model, and fresh latency draws,
+        exactly like the original copy did.
+        """
+        src, dst, payload = envelope.src, envelope.dst, envelope.payload
+        now = self.sim.now
         extra = self.adversary.verdict(src, dst, payload, now)
         if extra is None:
-            self.stats.messages_dropped += 1
+            self.stats.adversary_dropped += 1
             return
         self.stats.note_send(envelope)
+        if self._seal_sends and envelope.auth is None:
+            seal_envelope(envelope)
+
+        faults = self.faults
+        fate = faults.verdict(src, dst, type(payload).__name__) \
+            if faults is not None else None
 
         # NIC serialization occupies the sender's transmit queue...
         departure = self.bandwidth.serialize(src, now, envelope.size)
@@ -112,26 +233,63 @@ class Network:
             nominal = self.latency.sample(self._rng)
         actual = self.synchrony.actual_delay(src, dst, now, nominal, self._rng)
         arrival = departure + actual + extra
+        obs = self._obs
+        kind = type(payload).__name__
 
-        self.sim.schedule_at(arrival, lambda: self._deliver(envelope), label=f"net {src}->{dst}")
-        if self._obs.enabled:
-            self._obs.net_span(cause, envelope.msg_id, src, dst,
-                               type(payload).__name__, now, arrival,
-                               envelope.size)
+        if fate is not None and (fate.drop or fate.duplicate
+                                 or fate.extra_delay_ms or fate.corrupt):
+            arrival += fate.extra_delay_ms
+            copy = envelope.fabric_duplicate() if fate.duplicate else None
+            if fate.corrupt:
+                envelope.corrupt()
+                self.stats.fault_corrupted += 1
+            if copy is not None:
+                if fate.corrupt_dup:
+                    copy.corrupt()
+                    self.stats.fault_corrupted += 1
+                self.stats.fault_duplicated += 1
+                dup_arrival = arrival + fate.dup_delay_ms
+                self.sim.schedule_at(dup_arrival,
+                                     lambda: self._deliver(copy),
+                                     label=f"net dup {src}->{dst}")
+                if obs.enabled:
+                    obs.net_span(cause, copy.msg_id, src, dst, kind,
+                                 now, dup_arrival, envelope.size,
+                                 duplicate=True)
+            if fate.drop:
+                self.stats.fault_dropped += 1
+                if obs.enabled:
+                    obs.instant("net_loss", src, now, dst=dst, kind=kind)
+                return
 
-    def broadcast(self, src: int, dsts: list[int], payload: Any) -> None:
-        """Send ``payload`` to each destination (separate serializations —
-        this is what charges an O(n) sender cost for a broadcast)."""
-        for dst in dsts:
-            if dst != src:
-                self.send(src, dst, payload)
+        self.sim.schedule_at(arrival, lambda: self._deliver(envelope),
+                             label=f"net {src}->{dst}")
+        if obs.enabled:
+            obs.net_span(cause, envelope.msg_id, src, dst, kind, now,
+                         arrival, envelope.size, retransmit=retransmit)
 
     def _deliver(self, envelope: Envelope) -> None:
         endpoint = self._endpoints.get(envelope.dst)
         if endpoint is None:
             # Destination crashed/detached while the message was in flight.
-            self.stats.messages_dropped += 1
+            self.stats.undeliverable_dropped += 1
             return
+        channel = self._channels.get(envelope.dst)
+        if not frame_intact(envelope):
+            # Detected corruption: counted, never delivered, never ACKed —
+            # the sender's retransmission (if any) repairs the stream.
+            self.stats.corrupt_rejected += 1
+            if channel is not None:
+                channel.stats.corrupt_rejected += 1
+            if self._obs.enabled:
+                self._obs.instant("net_corrupt_rejected", envelope.dst,
+                                  self.sim.now, src=envelope.src,
+                                  kind=type(envelope.payload).__name__)
+            return
+        if channel is not None and not channel.receive(envelope):
+            return  # consumed by the transport (ACK) or suppressed (dup)
+        if envelope.duplicate:
+            self.stats.duplicates_delivered += 1
         self.stats.messages_delivered += 1
         endpoint.deliver(envelope)
 

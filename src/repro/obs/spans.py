@@ -216,12 +216,23 @@ class SpanTracer:
     # ------------------------------------------------------------------
     def net_span(self, cause: Optional[int], msg_id: int, src: int, dst: int,
                  name: str, t0: float, t1: float, size: int = 0,
-                 loopback: bool = False) -> int:
-        """Record one message flight and register its delivery route."""
+                 loopback: bool = False, retransmit: bool = False,
+                 duplicate: bool = False) -> int:
+        """Record one message flight and register its delivery route.
+
+        ``retransmit`` marks transport retransmissions and ``duplicate``
+        fabric-duplicated copies — the attrs that make retransmission
+        storms visible on the critical path (they are omitted when false,
+        so loss-free traces are byte-identical to pre-transport ones).
+        """
         sid = self._alloc()
         attrs: dict[str, Any] = {"src": src, "dst": dst, "size": size}
         if loopback:
             attrs["loopback"] = True
+        if retransmit:
+            attrs["retransmit"] = True
+        if duplicate:
+            attrs["duplicate"] = True
         self._push(Span(sid, cause or None, src, "net", name, t0, t1, attrs))
         routes = self._routes
         routes[msg_id] = sid

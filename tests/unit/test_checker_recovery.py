@@ -123,6 +123,31 @@ class TestTEErecover:
         assert checker0.state.preph == "deadbeef"
         assert checker0.state.prepv == 2
 
+    def test_stored_block_adopted_from_highest_prepv_not_leader(self, world):
+        """The highest-view leader may never have stored the latest
+        committed block (lossy fabric); adopting its ⟨preph, prepv⟩ would
+        roll the recovering node's storage state back past a commit it
+        participated in.  The stored block must come from the max-prepv
+        reply; the view still comes from the leader's."""
+        pairs, _, checkers = world
+        # Node 3 leads the highest view but missed the view-9 block; node 1
+        # stored it (as f+1 nodes must have, for it to commit).
+        put_in_view(checkers[3], 13)
+        checkers[3].state.prepv = 8
+        checkers[3].state.preph = "old-block"
+        for node in (1, 2, 4):
+            put_in_view(checkers[node], 12)
+        checkers[1].state.prepv = 9
+        checkers[1].state.preph = "committed-block"
+        reboot(checkers[0])
+        request = checkers[0].tee_request()
+        replies = gather_replies(checkers, request)
+        leader_reply = next(r for r in replies if r.signer == 3)
+        checkers[0].tee_recover(leader_reply, replies)
+        assert checkers[0].state.preph == "committed-block"
+        assert checkers[0].state.prepv == 9
+        assert checkers[0].state.vi == 13 + 2  # view still from the leader
+
     def test_highest_reply_not_from_leader_aborts(self, world):
         # Highest view 3 held by node 4, but leader_of(3) == 3: must abort.
         checker0, _, replies = self._standard_recovery(
