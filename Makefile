@@ -6,7 +6,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench perf chaos chaos-smoke loss-smoke trace-smoke ci
+.PHONY: test bench-quick bench perf chaos chaos-smoke loss-smoke byz-smoke \
+	trace-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -29,6 +30,14 @@ chaos-smoke:
 loss-smoke:
 	$(PYTHON) -m repro chaos --seeds 3 --duration 2500 --quiesce 1000 \
 		--loss 0.05 --dup 0.02 --corrupt 0.01 --timeout-jitter 0.1
+
+# Byzantine smoke: two stacked strategies on two defended protocols, two
+# seeds each (< 10 s).  Every configured attack must engage (attempt
+# counters > 0) and every invariant must hold — a disengaged attack or a
+# violation fails the run.
+byz-smoke:
+	$(PYTHON) -m repro chaos --protocols achilles minbft \
+		--byz withhold-vote,garbage --seeds 2 --duration 2500 --quiesce 1000
 
 # Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
 # Perfetto traces to traces/, and fails unless the walk attributes >= 95%

@@ -112,6 +112,12 @@ class RaftRole(enum.Enum):
 class BRaftNode(ReplicaBase):
     """A Raft server replicating block batches."""
 
+    BYZ_PROPOSAL_KINDS = ("AppendEntries",)
+    BYZ_VOTE_KINDS = ("AppendReply", "RequestVoteReply")
+    # Commit notifications piggyback on AppendEntries.leader_commit; there
+    # is no standalone decide message to hide.
+    BYZ_DECIDE_KINDS = ()
+
     def __init__(
         self,
         sim: Simulator,

@@ -103,6 +103,10 @@ class DNewView:
 class DamysusNode(ReplicaBase):
     """A Damysus replica (plain or -R depending on the counter factory)."""
 
+    BYZ_PROPOSAL_KINDS = ("DProposal",)
+    BYZ_VOTE_KINDS = ("DPrepareVote", "DCommitVote")
+    BYZ_DECIDE_KINDS = ("DDecide",)
+
     def __init__(
         self,
         sim: Simulator,

@@ -133,6 +133,11 @@ class FViewChange:
 class FlexiBFTNode(ReplicaBase):
     """A FlexiBFT replica (n = 3f+1, quorum 2f+1)."""
 
+    BYZ_PROPOSAL_KINDS = ("FProposal",)
+    BYZ_VOTE_KINDS = ("FVote",)
+    # Commits are local once 2f+1 votes collect; nothing to hide.
+    BYZ_DECIDE_KINDS = ()
+
     def __init__(
         self,
         sim: Simulator,

@@ -92,6 +92,12 @@ class MViewChange:
 class MinBFTNode(ReplicaBase):
     """A MinBFT replica."""
 
+    BYZ_PROPOSAL_KINDS = ("MPrepare",)
+    BYZ_VOTE_KINDS = ("MCommit",)
+    # MinBFT has no separate decide message: an MCommit both votes and
+    # notifies, so hiding commits means hiding MCommits.
+    BYZ_DECIDE_KINDS = ("MCommit",)
+
     def __init__(
         self,
         sim: Simulator,

@@ -296,6 +296,10 @@ class OneShotChecker(RStateMixin, AchillesChecker):
 class OneShotNode(AchillesNode):
     """OneShot replica: Achilles-shaped fast path, two-phase slow path."""
 
+    BYZ_PROPOSAL_KINDS = ("OSProposal",)
+    BYZ_VOTE_KINDS = ("StoreVote", "OSPreVote")
+    BYZ_DECIDE_KINDS = ("Decide",)
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         # Replace the Achilles checker with the OneShot one.
@@ -342,6 +346,7 @@ class OneShotNode(AchillesNode):
         self._proposed_view = view
         self.view = view
         self.pacemaker.view_started(view)
+        self._answer_pending_recoveries()
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)

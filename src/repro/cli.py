@@ -10,8 +10,10 @@ Commands:
 * ``recovery`` — the Table 2 recovery-overhead breakdown.
 * ``counters`` — the Table 4 persistent-counter latencies.
 * ``chaos`` — seeded chaos campaigns (crashes + rollbacks + partitions +
-  churn) under the always-on invariant monitors; the first failing seed
-  is re-run with span tracing and dumped as a Perfetto trace.
+  churn + lossy fabrics + Byzantine replicas via ``--byz``) under the
+  always-on invariant monitors; the first failing seed is re-run with
+  span tracing and dumped as a Perfetto trace.  ``--byz-expect`` flips
+  named invariants into negative controls (they must demonstrably trip).
 * ``protocols`` — list everything the registry knows.
 
 All output is plain text (the same tables the benchmarks record).
@@ -217,6 +219,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     protocols = args.protocols or _CHAOS_PROTOCOLS
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
     lossy = bool(args.loss or args.dup or args.corrupt or args.reorder)
+    byz = tuple(s for s in (args.byz or "").split(",") if s)
+    expect = tuple(s for s in (args.byz_expect or "").split(",") if s)
     configs = [
         dict(
             protocol=protocol, f=args.faults, network=args.network,
@@ -226,6 +230,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             counter_write_ms=args.counter_write_ms,
             loss=args.loss, dup=args.dup, corrupt=args.corrupt,
             reorder=args.reorder, timeout_jitter=args.timeout_jitter,
+            byz=byz, byz_nodes=args.byz_nodes if byz else 0,
+            expect_violations=expect,
             seed=seed,
         )
         for protocol in protocols
@@ -248,6 +254,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     result.extras.get("retransmissions", 0),
                     result.extras.get("dup_suppressed", 0),
                     result.extras.get("corrupt_rejected", 0)]
+        if byz:
+            row += [sum(result.extras.get("byz_attempts", {}).values()),
+                    sum(result.extras.get("byz_denials", {}).values())]
         row += [len(result.violations), result.digest[:12]]
         rows.append(row)
         if result.violations:
@@ -261,19 +270,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                "rollbk", "partit"]
     if lossy:
         headers += ["lost", "retrans", "dedup", "rejected"]
+    if byz:
+        headers += ["byz-att", "byz-den"]
     headers += ["violations", "digest"]
     fabric = f", loss={args.loss:g} dup={args.dup:g} " \
              f"reorder={args.reorder:g} corrupt={args.corrupt:g}" if lossy else ""
+    byzdesc = f", byz={','.join(byz)}×{args.byz_nodes}" if byz else ""
     print(format_table(
         headers, rows,
         title=f"chaos — {len(protocols)} protocol(s) × {len(seeds)} seed(s), "
-              f"{args.network}, f={args.faults}{fabric}",
+              f"{args.network}, f={args.faults}{fabric}{byzdesc}",
     ))
+    if byz:
+        from repro.harness.report import format_byz_breakdown
+
+        print()
+        print(format_byz_breakdown(results))
     for result in failures:
         print(f"\nFAIL {result.protocol} seed {result.seed}: "
               f"{len(result.violations)} violation(s)", file=sys.stderr)
         for violation in result.violations:
             print(f"  {violation}", file=sys.stderr)
+        byzrepro = ""
+        if byz:
+            byzrepro = f"--byz {','.join(byz)} --byz-nodes {args.byz_nodes} "
+            if expect:
+                byzrepro += f"--byz-expect {','.join(expect)} "
         print("  reproduce with:\n"
               f"    python -m repro chaos --protocols {result.protocol} "
               f"--f {result.f} --network {result.network} "
@@ -283,7 +305,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"--counter-write-ms {args.counter_write_ms:g} "
               f"--loss {args.loss:g} --dup {args.dup:g} "
               f"--reorder {args.reorder:g} --corrupt {args.corrupt:g} "
-              f"--seed {result.seed}", file=sys.stderr)
+              f"{byzrepro}--seed {result.seed}", file=sys.stderr)
     for result in disengaged:
         print(f"\nFAIL {result.protocol} seed {result.seed}: loss={args.loss:g} "
               f"but zero retransmissions (transport not engaged)",
@@ -308,6 +330,7 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
     trace_dir.mkdir(parents=True, exist_ok=True)
     path = trace_dir / (f"chaos-{failure.protocol}-f{failure.f}"
                         f"-seed{failure.seed}.json")
+    byz = tuple(s for s in (args.byz or "").split(",") if s)
     spec = ChaosSpec(
         protocol=failure.protocol, f=failure.f, network=failure.network,
         duration_ms=args.duration, quiesce_ms=args.quiesce,
@@ -316,6 +339,9 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
         counter_write_ms=args.counter_write_ms,
         loss=args.loss, dup=args.dup, corrupt=args.corrupt,
         reorder=args.reorder, timeout_jitter=args.timeout_jitter,
+        byz=byz, byz_nodes=args.byz_nodes if byz else 0,
+        expect_violations=tuple(
+            s for s in (args.byz_expect or "").split(",") if s),
     )
     try:
         run_chaos(spec, failure.seed, trace_path=str(path))
@@ -424,6 +450,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-message corruption probability (detected "
                               "and rejected at the receiver, then repaired "
                               "by retransmission)")
+    p_chaos.add_argument("--byz", default=None, metavar="STRAT[,STRAT]",
+                         help="comma-separated Byzantine strategies to stack "
+                              "onto --byz-nodes replicas (see "
+                              "repro.faults.byz.STRATEGIES; composes with "
+                              "every other fault layer under one seed)")
+    p_chaos.add_argument("--byz-nodes", type=int, default=1,
+                         help="Byzantine replica count (≤ f; they occupy "
+                              "fault-budget slots)")
+    p_chaos.add_argument("--byz-expect", default=None, metavar="INV[,INV]",
+                         help="negative control: these invariants MUST trip "
+                              "(attacking an unprotected baseline); any "
+                              "other violation still fails the run")
     p_chaos.add_argument("--timeout-jitter", type=float, default=0.0,
                          help="pacemaker timeout jitter fraction "
                               "(de-synchronizes view-change storms)")

@@ -59,6 +59,15 @@ class TransactionSource(TypingProtocol):
 class ReplicaBase(Process):
     """Common machinery for all consensus replicas."""
 
+    #: Message kinds (``type(payload).__name__``) carrying proposals, votes,
+    #: and commit notifications.  The Byzantine strategy engine
+    #: (:mod:`repro.faults.byz`) uses these to target attacks (withhold
+    #: votes, hide commit notifications) at any protocol without knowing its
+    #: message classes; protocols override them alongside their handlers.
+    BYZ_PROPOSAL_KINDS: tuple[str, ...] = ()
+    BYZ_VOTE_KINDS: tuple[str, ...] = ()
+    BYZ_DECIDE_KINDS: tuple[str, ...] = ()
+
     def __init__(
         self,
         sim: Simulator,
@@ -144,8 +153,8 @@ class ReplicaBase(Process):
         kind = type(envelope.payload).__name__
         handler = getattr(self, f"on_{kind}", None)
         if handler is None:
-            self.sim.trace.record(self.sim.now, "unhandled_message", self.node_id,
-                                  kind=kind)
+            self.sim.trace.record(self.sim.now, "unhandled_message",
+                                  self.node_id, message_kind=kind)
             return
         obs = self._obs
         if obs.enabled:
@@ -270,9 +279,14 @@ class ReplicaBase(Process):
         self._outbox.append((dst, payload))
 
     def broadcast(self, payload: Any, include_self: bool = False) -> None:
-        """Queue a message to every peer (and optionally to self)."""
+        """Queue a message to every peer (and optionally to self).
+
+        Every per-destination send goes through :meth:`send_to` — the single
+        choke point the reliable transport, obs span emission, and the
+        Byzantine strategy engine all rely on.
+        """
         for dst in self.peers:
-            self._outbox.append((dst, payload))
+            self.send_to(dst, payload)
         if include_self:
             self.send_to(self.node_id, payload)
 

@@ -152,6 +152,10 @@ class RecoveryStats:
 class AchillesNode(ReplicaBase):
     """An Achilles replica."""
 
+    BYZ_PROPOSAL_KINDS = ("Proposal",)
+    BYZ_VOTE_KINDS = ("StoreVote",)
+    BYZ_DECIDE_KINDS = ("Decide",)
+
     def __init__(
         self,
         sim: Simulator,
@@ -202,6 +206,10 @@ class AchillesNode(ReplicaBase):
         self._recovery_request: Optional[RecoveryRequest] = None
         self._recovery_nonce: Optional[str] = None
         self._recovery_timer = self.timer("recovery_retry")
+        # Outstanding peers' recovery requests, kept so this node can
+        # re-answer with a fresh (higher-view) reply when it becomes the
+        # leader — see _answer_pending_recoveries for why that matters.
+        self._pending_recovery: dict[int, tuple[RecoveryRequest, float]] = {}
         self._current_recovery: Optional[RecoveryStats] = None
         self._recovery_started_at = 0.0
         self.recovery_episodes: list[RecoveryStats] = []
@@ -364,6 +372,7 @@ class AchillesNode(ReplicaBase):
         self._proposed_view = view
         self.view = view
         self.pacemaker.view_started(view)
+        self._answer_pending_recoveries()
         self.store.add(block)
         if self.listener is not None:
             self.listener.on_propose(self.node_id, block, self.sim.now)
@@ -556,6 +565,7 @@ class AchillesNode(ReplicaBase):
         self._recovery_replies.clear()
         self._recovery_request = None
         self._recovery_nonce = None
+        self._pending_recovery.clear()
         self.preb_cert = None
         self.preb_qc = None
         self.pacemaker.stop()
@@ -608,8 +618,12 @@ class AchillesNode(ReplicaBase):
         """Step ②: a healthy node reports its checker state + stored block."""
         if self.status is not NodeStatus.RUNNING:
             return  # recovering nodes must not answer (Sec. 4.5)
+        self._pending_recovery[src] = (msg.request, self.sim.now)
+        self._send_recovery_reply(msg.request, src)
+
+    def _send_recovery_reply(self, request: RecoveryRequest, src: int) -> None:
         try:
-            reply = self.checker.tee_reply(msg.request)
+            reply = self.checker.tee_reply(request)
         except EnclaveAbort:
             return
         finally:
@@ -617,6 +631,29 @@ class AchillesNode(ReplicaBase):
         self.send_to(src, RecoveryResponseMsg(
             reply=reply, block=self.preb_block, qc=self.preb_qc
         ))
+
+    def _answer_pending_recoveries(self) -> None:
+        """Re-answer outstanding recovery requests after becoming leader.
+
+        TEErecover only accepts a reply set whose highest view is signed
+        by that view's leader.  Replies sent on request arrival sample the
+        responder's view at the *requester's* retry cadence, which is
+        heavily biased towards long-lived views — exactly the ones led by
+        the crashed victim (its leader slot times out) or by a faulty
+        replica whose replies never validate.  A victim can then collect
+        f+1 honest replies forever without ever holding a leader-signed
+        one (observed as a recovery livelock in the Byzantine chaos
+        campaigns).  Answering again right after this node's own
+        ``tee_prepare`` succeeds closes the gap: that reply carries this
+        node's freshly-entered view, and this node *is* its leader.
+        Entries age out once the victim stops retransmitting.
+        """
+        horizon = self.sim.now - 4.0 * self.config.recovery_retry_ms
+        for src, (request, seen_at) in list(self._pending_recovery.items()):
+            if seen_at < horizon:
+                del self._pending_recovery[src]
+                continue
+            self._send_recovery_reply(request, src)
 
     def on_RecoveryResponseMsg(self, msg: RecoveryResponseMsg, src: int) -> None:
         """Step ③: collect f+1 replies and restore through TEErecover."""

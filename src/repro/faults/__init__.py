@@ -2,17 +2,29 @@
 
 * :mod:`repro.faults.crash` — crash/reboot schedules driving the recovery
   experiments (Table 2) and liveness-under-churn tests.
-* :mod:`repro.faults.byzantine` — Byzantine replica variants exercising
-  the attacks the paper's design arguments rest on: equivocation attempts
-  (stopped by the CHECKER), vote withholding and message hiding (masked by
-  quorums), stale recovery-reply replay (stopped by nonces), and the
-  Sec. 4.5 five-node recovery attack (stopped by the leader rule).
+* :mod:`repro.faults.byz` — the composable Byzantine strategy engine:
+  small stackable behaviors (equivocation, vote withholding, decide
+  hiding, recovery lying/replay, counter skipping, stale-seal feeding,
+  garbage injection, silence) woven into *any* protocol's node class by
+  ``make_byzantine(node_cls, strategies)`` — always through the
+  untrusted-code surface, never the enclave.
+* :mod:`repro.faults.byzantine` — the historical Achilles-specific names,
+  now thin aliases over the engine.
 * :mod:`repro.faults.chaos` — seeded chaos campaigns composing crashes,
-  rollback attacks, partitions, delays, and client churn, run under the
-  always-on invariant monitors.
+  rollback attacks, partitions, delays, client churn, lossy fabrics, and
+  Byzantine replicas, run under the always-on invariant monitors.
 """
 
 from repro.faults.crash import CrashRebootSchedule, crash_and_reboot
+from repro.faults.byz import (
+    STRATEGIES,
+    ByzController,
+    ByzStrategy,
+    applicable_strategies,
+    collect_byz_counters,
+    make_byzantine,
+    resolve_strategies,
+)
 from repro.faults.byzantine import (
     SilentNode,
     VoteWithholdingNode,
@@ -32,6 +44,13 @@ from repro.faults.chaos import (
 __all__ = [
     "CrashRebootSchedule",
     "crash_and_reboot",
+    "ByzController",
+    "ByzStrategy",
+    "STRATEGIES",
+    "applicable_strategies",
+    "collect_byz_counters",
+    "make_byzantine",
+    "resolve_strategies",
     "ChaosCampaign",
     "ChaosResult",
     "ChaosSpec",

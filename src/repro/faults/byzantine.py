@@ -1,135 +1,49 @@
-"""Byzantine replica variants.
+"""Legacy Byzantine replica names, now backed by the strategy engine.
 
-Each class overrides one behaviour of :class:`~repro.core.node.AchillesNode`
-to mount a specific attack from the paper's threat model (Sec. 3.1).  The
-TEE boundary is respected: a Byzantine node controls its *untrusted* code
-and the network, but cannot forge certificates or alter enclave logic —
-which is exactly why these attacks fail in the tests.
+Historically this module hand-coded one ``AchillesNode`` subclass per
+attack.  Those subclasses are replaced by the composable strategy engine
+in :mod:`repro.faults.byz` — ``make_byzantine(node_cls, strategies)``
+works for *every* protocol in the registry and the strategies stack.
+The original names remain as prebuilt Achilles variants so existing
+callers and tests keep working; each carries a ``.byz`` controller whose
+``snapshot()`` exposes per-strategy attempt/denial counters.
+
+The fix this rewrite also lands: the old ``DecideHidingNode.broadcast``
+appended suppressed-broadcast sends directly to ``_outbox``, bypassing
+``send_to`` — which skipped reliable-transport sequencing and obs span
+emission.  The engine filters inside ``send_to`` itself (and
+``ReplicaBase.broadcast`` now routes every per-destination send through
+``send_to``), so there is no bypass left to take.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.core.node import AchillesNode
+from repro.faults.byz import make_byzantine
 
-from repro.core.node import (
-    AchillesNode,
-    Decide,
-    NewView,
-    Proposal,
-    RecoveryRequestMsg,
-    RecoveryResponseMsg,
-    StoreVote,
-)
-from repro.errors import EnclaveAbort
+#: Crashes-by-silence: every outgoing message is suppressed.  With ≤ f
+#: such nodes the quorum of f+1 correct nodes keeps committing.
+SilentNode = make_byzantine(AchillesNode, ["silent"])
 
+#: Participates (stores blocks, keeps committing via Decide) but never
+#: lets a vote leave the node.
+VoteWithholdingNode = make_byzantine(AchillesNode, ["withhold-vote"])
 
-class SilentNode(AchillesNode):
-    """Crashes-by-silence: never sends anything after start.
+#: A leader that commits but hides the Decide broadcast from a victim
+#: subset — the restrictive-responsiveness scenario (Sec. 6.1).  Set a
+#: ``hidden_from`` class attribute (a frozenset of node ids) to pin the
+#: victim set.
+DecideHidingNode = make_byzantine(AchillesNode, ["hide-decide"])
 
-    With ≤ f silent nodes the quorum of f+1 correct nodes keeps committing.
-    """
+#: A leader that tries to certify two conflicting blocks per view; the
+#: second ``TEEprepare`` must abort inside the checker.
+EquivocationAttemptNode = make_byzantine(AchillesNode, ["equivocate"])
 
-    def start(self) -> None:
-        """Stay silent."""
-
-    def deliver(self, envelope) -> None:
-        """Drop all input."""
-
-
-class VoteWithholdingNode(AchillesNode):
-    """Participates but never votes (no store certificates leave it)."""
-
-    def _store_and_vote(self, block, cert) -> None:
-        # Stores the block locally (to keep committing via Decide) but
-        # withholds the vote from the leader.
-        try:
-            self.checker.tee_store(cert)
-        except EnclaveAbort:
-            return
-        finally:
-            self.charge_enclave(self.checker)
-        self.preb_block = block
-        self.preb_cert = cert
-        self.withheld = getattr(self, "withheld", 0) + 1
-
-
-class DecideHidingNode(AchillesNode):
-    """A leader that commits but hides the Decide broadcast from a victim
-    subset — the restrictive-responsiveness scenario (Sec. 6.1)."""
-
-    hidden_from: frozenset[int] = frozenset()
-
-    def broadcast(self, payload, include_self: bool = False) -> None:
-        """Suppress Decide messages to the victim set."""
-        if isinstance(payload, Decide):
-            for dst in self.peers:
-                if dst not in self.hidden_from:
-                    self._outbox.append((dst, payload))
-            if include_self:
-                self.send_to(self.node_id, payload)
-            return
-        super().broadcast(payload, include_self)
-
-
-class EquivocationAttemptNode(AchillesNode):
-    """A leader that tries to propose two different blocks per view.
-
-    The second ``TEEprepare`` must abort inside the checker; the attempt
-    counter lets tests assert that the attack was actually tried.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.equivocation_attempts = 0
-        self.equivocation_denials = 0
-
-    def _propose(self, parent, justification, view: int) -> None:
-        super()._propose(parent, justification, view)
-        if self._proposed_view != view:
-            return  # the honest proposal itself did not go through
-        # Attempt a second, conflicting proposal for the same view.
-        from repro.chain.block import create_leaf
-        from repro.chain.execution import execute_transactions
-
-        self.equivocation_attempts += 1
-        txs = ()
-        op = execute_transactions(txs, parent.hash)
-        evil = create_leaf(txs, op, parent, view=view, proposer=self.node_id)
-        try:
-            self.checker.tee_prepare(evil, justification)
-        except EnclaveAbort:
-            self.equivocation_denials += 1
-        finally:
-            self.charge_enclave(self.checker)
-
-
-class ReplayingRecoveryResponder(AchillesNode):
-    """Answers recovery requests with a *stale captured reply* instead of a
-    fresh checker report — the replay the recovery nonce defeats."""
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.captured: Optional[RecoveryResponseMsg] = None
-        self.replays_sent = 0
-
-    def on_RecoveryRequestMsg(self, msg: RecoveryRequestMsg, src: int) -> None:
-        """First request: answer honestly but capture the reply.  Later
-        requests: replay the stale capture."""
-        if self.captured is None:
-            try:
-                reply = self.checker.tee_reply(msg.request)
-            except EnclaveAbort:
-                return
-            finally:
-                self.charge_enclave(self.checker)
-            self.captured = RecoveryResponseMsg(
-                reply=reply, block=self.preb_block, qc=self.preb_qc
-            )
-            self.send_to(src, self.captured)
-            return
-        self.replays_sent += 1
-        self.send_to(src, self.captured)
-
+#: Answers recovery requests with a *stale captured response* instead of
+#: a fresh checker report — the replay the recovery nonce defeats.  The
+#: capture is persisted in the node's untrusted store, so the replay
+#: survives the attacker's own reboots.
+ReplayingRecoveryResponder = make_byzantine(AchillesNode, ["replay-recovery"])
 
 __all__ = [
     "SilentNode",

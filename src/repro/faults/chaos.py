@@ -30,6 +30,13 @@ from typing import Mapping, Optional
 from repro.consensus.config import ProtocolConfig
 from repro.crypto.hashing import digest_of
 from repro.errors import ConfigurationError
+from repro.faults.byz import (
+    STRATEGIES,
+    applicable_strategies,
+    collect_byz_counters,
+    make_byzantine,
+    resolve_strategies,
+)
 from repro.faults.crash import CrashRebootSchedule
 from repro.net.adversary import NetworkAdversary
 from repro.tee.rollback import RollbackAttacker
@@ -102,6 +109,19 @@ class ChaosSpec:
     recovery_retry_ms: float = 25.0
     #: Invariant poll period.
     poll_every_ms: float = 25.0
+    #: Byzantine layer: strategy names from
+    #: :data:`repro.faults.byz.STRATEGIES` stacked onto ``byz_nodes``
+    #: replicas.  Empty = no Byzantine layer — and zero extra RNG draws,
+    #: so a byz-disabled campaign is bit-identical to a pre-byz one.
+    byz: tuple = ()
+    #: Byzantine replica count (≤ f; Byzantine replicas occupy
+    #: fault-budget slots, so the honest crash budget shrinks to
+    #: f − byz_nodes).  Defaults to 1 whenever strategies are given.
+    byz_nodes: int = 0
+    #: Negative-control mode: invariants *expected* to trip (attacking an
+    #: unprotected baseline).  The run fails if one of them does NOT trip
+    #: — and any violation outside this list still fails it.
+    expect_violations: tuple = ()
 
     def __post_init__(self) -> None:
         if self.duration_ms <= self.quiesce_ms + self.warmup_ms:
@@ -109,6 +129,23 @@ class ChaosSpec:
                 "duration_ms must exceed warmup_ms + quiesce_ms "
                 f"({self.duration_ms} <= {self.warmup_ms} + {self.quiesce_ms})"
             )
+        object.__setattr__(self, "byz", tuple(self.byz))
+        object.__setattr__(self, "expect_violations",
+                           tuple(self.expect_violations))
+        if self.byz:
+            try:
+                resolve_strategies(self.byz)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
+            if self.byz_nodes == 0:
+                object.__setattr__(self, "byz_nodes", 1)
+        if self.byz_nodes and not self.byz:
+            raise ConfigurationError(
+                "byz_nodes set without any byz strategies")
+        if self.byz_nodes > self.f:
+            raise ConfigurationError(
+                f"byz_nodes={self.byz_nodes} exceeds the fault budget "
+                f"f={self.f}")
 
     @property
     def fault_window(self) -> tuple[float, float]:
@@ -155,9 +192,25 @@ class ChaosCampaign:
     #: campaign must say what it did NOT inject, not silently shrink).
     crashes_dropped: int = 0
     rollbacks_skipped: int = 0
+    #: Byzantine replicas and the (applicable) strategies they stack.
+    byz_ids: tuple[int, ...] = ()
+    byz_strategies: tuple[str, ...] = ()
+    #: Configured strategies inapplicable to this protocol — recorded,
+    #: never silently dropped.
+    byz_skipped: tuple[str, ...] = ()
+    #: Self-crash events of Byzantine replicas: (node, at, downtime).
+    #: Generated when stale-seal is in play — feeding the enclave a stale
+    #: sealed blob requires the attacker's host to reboot.
+    byz_reboots: tuple[tuple[int, float, float], ...] = ()
 
     def describe(self) -> str:
         """One line summarizing the injected faults."""
+        byz = ""
+        if self.byz_ids:
+            byz = (f", byz nodes {list(self.byz_ids)} "
+                   f"[{','.join(self.byz_strategies)}]")
+            if self.byz_skipped:
+                byz += f" (skipped: {','.join(self.byz_skipped)})"
         return (
             f"{self.spec.protocol} f={self.spec.f} seed={self.seed}: "
             f"{len(self.crash_events)} crash(es) "
@@ -166,7 +219,7 @@ class ChaosCampaign:
             f"({self.rollbacks_skipped} skipped), "
             f"{len(self.partitions)} partition(s), "
             f"{len(self.delays)} delay rule(s), "
-            f"{len(self.churn)} churn event(s)"
+            f"{len(self.churn)} churn event(s)" + byz
         )
 
 
@@ -204,6 +257,30 @@ def generate_campaign(spec: ChaosSpec, seed: int) -> ChaosCampaign:
     rng = random.Random(f"chaos/{spec.protocol}/{spec.f}/{seed}")
     start, end = spec.fault_window
 
+    # Byzantine layer, on its own RNG stream: a disabled layer draws
+    # nothing, so the rest of the campaign stays bit-identical.
+    byz_ids: tuple[int, ...] = ()
+    byz_strategies: list[str] = []
+    byz_skipped: list[str] = []
+    byz_reboots: list[tuple[int, float, float]] = []
+    if spec.byz:
+        byz_rng = random.Random(f"chaos-byz/{spec.protocol}/{spec.f}/{seed}")
+        byz_strategies, byz_skipped = applicable_strategies(
+            protocol.node_cls, spec.byz)
+        if byz_strategies:
+            byz_ids = tuple(sorted(byz_rng.sample(range(n), spec.byz_nodes)))
+        if "stale-seal" in byz_strategies:
+            # The stale-blob feed happens at unseal: each Byzantine host
+            # reboots itself once so its enclave goes through restore.
+            for node in byz_ids:
+                downtime = byz_rng.uniform(spec.min_downtime_ms,
+                                           spec.max_downtime_ms)
+                at = byz_rng.uniform(start, max(start + 1.0, end - downtime))
+                byz_reboots.append((node, at, downtime))
+    byz_set = set(byz_ids)
+    # Byzantine replicas occupy fault-budget slots for the whole run.
+    honest_budget = spec.f - len(byz_ids)
+
     # Partition windows first: they lengthen recoveries, so crash-window
     # admission below must see them.  A minority group (≤ f nodes) is
     # isolated, then healed before the quiesce window.
@@ -227,11 +304,12 @@ def generate_campaign(spec: ChaosSpec, seed: int) -> ChaosCampaign:
         return done
 
     def admits(events: list[tuple[int, float, float]]) -> bool:
-        """True iff at most f nodes are ever concurrently non-RUNNING."""
+        """True iff concurrent honest crashes stay within the budget the
+        Byzantine replicas leave open (f − byz_nodes)."""
         extended = CrashRebootSchedule()
         for who, at, downtime in events:
             extended.add(who, at, effective_end(at, downtime) - at)
-        return extended.max_concurrent() <= spec.f
+        return extended.max_concurrent() <= honest_budget
 
     # Crash/reboot events, f-bound enforced at generation time over the
     # *extended* windows (crash + recovery), never per raw downtime only.
@@ -240,6 +318,11 @@ def generate_campaign(spec: ChaosSpec, seed: int) -> ChaosCampaign:
     down_nodes: set[int] = set()
     for _ in range(spec.crashes):
         node = rng.randrange(n)
+        if node in byz_set:
+            # Byzantine replicas crash only on their own (byz_reboots)
+            # schedule; the honest crash layer never touches them.
+            crashes_dropped += 1
+            continue
         downtime = rng.uniform(spec.min_downtime_ms, spec.max_downtime_ms)
         latest_start = end - downtime
         if latest_start <= start:
@@ -313,6 +396,10 @@ def generate_campaign(spec: ChaosSpec, seed: int) -> ChaosCampaign:
         churn=tuple(churn),
         crashes_dropped=crashes_dropped,
         rollbacks_skipped=rollbacks_skipped,
+        byz_ids=byz_ids,
+        byz_strategies=tuple(byz_strategies),
+        byz_skipped=tuple(byz_skipped),
+        byz_reboots=tuple(byz_reboots),
     )
 
 
@@ -379,6 +466,14 @@ def _install(campaign: ChaosCampaign, cluster, monitor, generator) -> dict:
                 attackers[node_id] = attacker
         sim.schedule_at(at + downtime, node.reboot,
                         label=f"chaos.reboot node{node_id}")
+
+    # Byzantine self-reboots: plain node.reboot() — the strategy chain's
+    # pre_reboot hook substitutes the stale-blob attacker itself.
+    for node_id, at, downtime in campaign.byz_reboots:
+        node = cluster.nodes[node_id]
+        sim.schedule_at(at, node.crash, label=f"chaos.byz-crash node{node_id}")
+        sim.schedule_at(at + downtime, node.reboot,
+                        label=f"chaos.byz-reboot node{node_id}")
 
     adversary = cluster.network.adversary
     for window in campaign.partitions:
@@ -468,7 +563,15 @@ def run_chaos(spec: ChaosSpec, seed: int,
     transport = TransportConfig(base_rto_ms=spec.transport_rto_ms) \
         if use_transport else None
 
-    monitor = InvariantMonitor()
+    byzantine_factories = None
+    if campaign.byz_ids:
+        byz_cls = make_byzantine(protocol.node_cls, campaign.byz_strategies)
+        byzantine_factories = {i: byz_cls for i in campaign.byz_ids}
+
+    monitor = InvariantMonitor(
+        expected_violations=spec.expect_violations,
+        track_seal_freshness="stale-seal" in campaign.byz_strategies,
+    )
     generator_holder: list[OpenLoopGenerator] = []
 
     def source_factory(sim):
@@ -491,6 +594,7 @@ def run_chaos(spec: ChaosSpec, seed: int,
         adversary=NetworkAdversary(),
         faults=faults,
         transport=transport,
+        byzantine_factories=byzantine_factories,
     )
     cluster.sim.trace.enabled = False
     if trace_path is not None:
@@ -523,7 +627,38 @@ def run_chaos(spec: ChaosSpec, seed: int,
         len(getattr(node, "recovery_episodes", ())) for node in cluster.nodes
     )
     rollbacks_mounted = sum(a.attacks_mounted for a in attackers.values())
-    violations = [str(v) for v in monitor.violations]
+
+    # Byzantine engagement: a configured, applicable attack that never
+    # fired proves nothing — fail the run, even in negative-control mode.
+    byz_counters = collect_byz_counters(cluster) if campaign.byz_ids else {}
+    engagement_failures: list[str] = []
+    for name in campaign.byz_strategies:
+        counts = byz_counters.get(name, {"attempts": 0, "denials": 0})
+        if counts["attempts"] > 0 or counts["denials"] > 0:
+            continue
+        if STRATEGIES[name].needs_recovery:
+            # These attacks need an honest recovery to interact with —
+            # and replay needs a *second* episode to replay into.
+            required = recoveries >= (2 if name == "replay-recovery" else 1)
+        else:
+            required = True
+        if required:
+            engagement_failures.append(
+                f"[byz-engagement] cluster: strategy '{name}' was "
+                f"configured but never engaged (0 attempts, 0 denials)")
+
+    if spec.expect_violations:
+        # Negative control: expected invariants must trip; everything
+        # else (including an expected one that never tripped) fails.
+        violations = [str(v) for v in monitor.unexpected_violations()]
+        violations += [
+            f"[expected-violation-missing] negative control {name!r} "
+            f"never tripped — the attack did not land"
+            for name in monitor.missing_expected()
+        ]
+    else:
+        violations = [str(v) for v in monitor.violations]
+    violations += engagement_failures
     tips = [(node.store.committed_tip.height, node.store.committed_tip.hash)
             for node in cluster.nodes]
     digest = digest_of(
@@ -545,6 +680,23 @@ def run_chaos(spec: ChaosSpec, seed: int,
         extras["acks_sent"] = totals.get("acks_sent", 0)
         extras["window_evictions"] = totals.get("window_evictions", 0)
         extras["transport_engaged"] = cluster.network.transport_engaged
+
+    if campaign.byz_ids:
+        extras["byz_ids"] = list(campaign.byz_ids)
+        extras["byz_strategies"] = list(campaign.byz_strategies)
+        extras["byz_skipped"] = list(campaign.byz_skipped)
+        extras["byz_attempts"] = {
+            name: counts["attempts"]
+            for name, counts in sorted(byz_counters.items())
+        }
+        extras["byz_denials"] = {
+            name: counts["denials"]
+            for name, counts in sorted(byz_counters.items())
+        }
+    if spec.expect_violations:
+        tripped = {v.invariant for v in monitor.violations}
+        extras["expected_tripped"] = sorted(
+            set(spec.expect_violations) & tripped)
 
     return ChaosResult(
         protocol=spec.protocol,

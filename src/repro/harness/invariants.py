@@ -28,7 +28,20 @@ run* rather than only at the end:
   left RECOVERING at the end of a run (optionally also bounded per
   episode during the run);
 * **post-quiesce-liveness** — once faults quiesce, the committed height
-  advances again (the GST-style liveness claim of Sec. 6).
+  advances again (the GST-style liveness claim of Sec. 6);
+* **sealed-state-freshness** (opt-in, ``track_seal_freshness=True``) —
+  across reboots, a trusted component never runs on a view older than
+  the peak it reached in an earlier incarnation.  Plain sealing
+  protocols (Damysus, OneShot) *accept* a stale sealed blob under a
+  rollback attacker — this is the monitor the negative controls trip.
+
+**Negative controls.**  ``expected_violations`` flips selected
+invariants from "must hold" to "must demonstrably break": a Byzantine
+campaign against an *unprotected* baseline proves the attack is real
+only if the matching invariant trips.  :meth:`unexpected_violations`
+returns what still fails the run (everything not expected), and
+:meth:`missing_expected` the expected invariants that never tripped —
+both must be empty for a negative-control run to pass.
 
 Violations are collected, never raised mid-run, so one bad event cannot
 mask later ones; :meth:`InvariantMonitor.assert_ok` raises at the end with
@@ -70,9 +83,13 @@ class InvariantMonitor:
     """
 
     def __init__(self, inner: Any = None,
-                 recovery_bound_ms: Optional[float] = None) -> None:
+                 recovery_bound_ms: Optional[float] = None,
+                 expected_violations: tuple = (),
+                 track_seal_freshness: bool = False) -> None:
         self.inner = inner
         self.recovery_bound_ms = recovery_bound_ms
+        self.expected_violations = tuple(expected_violations)
+        self.track_seal_freshness = track_seal_freshness
         self.violations: list[InvariantViolation] = []
         self.cluster = None
         # height -> (block hash, first committing node)
@@ -89,6 +106,10 @@ class InvariantMonitor:
         self._certifying_nodes: set[int] = set()
         # (node, epoch) -> last trusted view number seen
         self._last_vi: dict[tuple[int, int], int] = {}
+        # node -> peak trusted view across *all* incarnations, and the
+        # (node, epoch) pairs already reported stale (seal-freshness)
+        self._peak_vi: dict[int, int] = {}
+        self._stale_reported: set[tuple[int, int]] = set()
         # (node, counter name) -> last persistent counter value seen
         self._last_counter: dict[tuple[int, str], int] = {}
         # node -> sim time it was first seen RECOVERING (this episode)
@@ -262,6 +283,23 @@ class InvariantMonitor:
                 f"(epoch {node.epoch}): {last} -> {vi}",
             )
         self._last_vi[key] = vi
+        if self.track_seal_freshness and \
+                not getattr(checker, "needs_restore", False):
+            # Cross-incarnation: a new epoch *running* below the peak of an
+            # earlier one means the enclave restored stale sealed state
+            # (within an epoch, checker-monotonicity already covers it).
+            # While needs_restore is set the enclave has refused to run at
+            # all — the -R defense, not a freshness violation.
+            peak = self._peak_vi.get(node.node_id, 0)
+            if vi < peak and key not in self._stale_reported:
+                self._stale_reported.add(key)
+                self._violate(
+                    "sealed-state-freshness", node.node_id,
+                    f"epoch {node.epoch} restored trusted view {vi}, behind "
+                    f"the peak {peak} of an earlier incarnation (stale "
+                    f"sealed blob accepted)",
+                )
+            self._peak_vi[node.node_id] = max(peak, vi)
 
     def _poll_counters(self, node) -> None:
         for attr, component in self._trusted_components(node):
@@ -345,6 +383,21 @@ class InvariantMonitor:
                     f"committed height stuck at {final_height} since faults "
                     f"quiesced at t={self._quiesced_at:.1f} ms",
                 )
+
+    # ------------------------------------------------------------------
+    # Negative-control mode
+    # ------------------------------------------------------------------
+    def unexpected_violations(self) -> list[InvariantViolation]:
+        """Violations that fail the run even in negative-control mode."""
+        expected = set(self.expected_violations)
+        return [v for v in self.violations if v.invariant not in expected]
+
+    def missing_expected(self) -> list[str]:
+        """Expected invariants that never tripped — a negative control
+        whose attack did not demonstrably land proves nothing."""
+        tripped = {v.invariant for v in self.violations}
+        return [name for name in self.expected_violations
+                if name not in tripped]
 
     @property
     def ok(self) -> bool:

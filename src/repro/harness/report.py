@@ -82,6 +82,35 @@ def format_network_breakdown(stats_by_label: "dict[str, Any]",
     return format_table(headers, rows, title=title)
 
 
+def format_byz_breakdown(results: "Sequence[Any]",
+                         title: str = "Byzantine attack breakdown") -> str:
+    """Render per-strategy attempt/denial counters of chaos results.
+
+    ``results`` are :class:`repro.faults.chaos.ChaosResult` objects whose
+    ``extras`` carry ``byz_attempts``/``byz_denials`` (byz-configured runs
+    only; others are skipped).  One row per (run, strategy): how often the
+    attack engaged, how often the TEE refused it outright, whether the
+    run still upheld every invariant — the at-a-glance answer to "did the
+    attack actually happen, and did the defense hold?".
+    """
+    headers = ["protocol", "f", "seed", "strategy", "attempts",
+               "tee-denials", "violations"]
+    rows = []
+    for result in results:
+        attempts = result.extras.get("byz_attempts")
+        if attempts is None:
+            continue
+        denials = result.extras.get("byz_denials", {})
+        for name in attempts:
+            rows.append([result.protocol, result.f, result.seed, name,
+                         attempts[name], denials.get(name, 0),
+                         len(result.violations)])
+        for name in result.extras.get("byz_skipped", ()):
+            rows.append([result.protocol, result.f, result.seed,
+                         f"{name} (n/a)", "-", "-", len(result.violations)])
+    return format_table(headers, rows, title=title)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
                  title: str = "") -> str:
     """Render a monospace table with a title line."""
@@ -100,4 +129,5 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
     return "\n".join(lines)
 
 
-__all__ = ["format_table", "format_breakdown", "format_network_breakdown"]
+__all__ = ["format_table", "format_breakdown", "format_byz_breakdown",
+           "format_network_breakdown"]

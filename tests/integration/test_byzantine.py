@@ -62,7 +62,7 @@ class TestVoteWithholding:
                   if not isinstance(n, VoteWithholdingNode)]
         assert min(n.store.committed_tip.height for n in honest) >= 3
         # The attack really happened:
-        assert cluster.nodes[2].withheld > 0
+        assert cluster.nodes[2].byz.snapshot()["withhold-vote"]["attempts"] > 0
 
 
 class TestDecideHiding:

@@ -1,0 +1,137 @@
+"""End-to-end Byzantine chaos campaigns.
+
+Three claims, run against live clusters:
+
+1. **Defended sweep** — for every protocol in ``BYZ_DEFENDED_MATRIX``,
+   stacking all of its applicable attack strategies on one replica across
+   5 seeds produces *zero* invariant violations, while every configured
+   strategy actually engages (nonzero attempt or TEE-denial counters).
+   A quiet attack would make "defended" vacuous; the engagement check is
+   what separates "survived the attack" from "the attack never ran".
+
+2. **Negative controls** — the same attacks pointed at protocols that
+   *lack* the corresponding defense must trip the expected invariant.
+   These runs set ``expect_violations`` so the expected violation is
+   demanded rather than tolerated: the run fails if it does NOT trip.
+
+3. **Harness self-checks** — a configured-but-disengaged strategy and a
+   demanded-but-missing violation each hard-fail the run, so the sweep
+   above cannot silently pass by never attacking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.byz import STRATEGIES, ByzStrategy
+from repro.faults.chaos import ChaosSpec, run_chaos
+from repro.harness.experiments import (
+    BYZ_DEFENDED_MATRIX,
+    BYZ_NEGATIVE_CONTROLS,
+    byz_defended_sweep,
+    byz_negative_controls,
+)
+
+
+class TestDefendedSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return byz_defended_sweep(seeds=range(5), duration_ms=2500.0,
+                                  quiesce_ms=1000.0)
+
+    def test_matrix_covers_enough_ground(self):
+        assert len(BYZ_DEFENDED_MATRIX) >= 4
+        distinct = {s for bundles in BYZ_DEFENDED_MATRIX.values()
+                    for bundle in bundles for s in bundle}
+        assert len(distinct) >= 6
+        for bundles in BYZ_DEFENDED_MATRIX.values():
+            assert sum(len(b) for b in bundles) >= 4
+
+    def test_every_run_holds_every_invariant(self, sweep):
+        failures = [
+            f"{r.protocol} seed={r.seed}: {r.violations}"
+            for r in sweep if r.violations
+        ]
+        assert not failures, "\n".join(failures)
+
+    def test_every_configured_strategy_engaged_in_every_run(self, sweep):
+        runs = sum(len(bundles) for bundles in BYZ_DEFENDED_MATRIX.values())
+        assert len(sweep) == runs * 5
+        quiet = []
+        for r in sweep:
+            attempts = r.extras["byz_attempts"]
+            denials = r.extras["byz_denials"]
+            for name in r.extras["byz_strategies"]:
+                if STRATEGIES[name].needs_recovery:
+                    continue  # gated on recoveries; covered by run_chaos
+                if not (attempts.get(name, 0) or denials.get(name, 0)):
+                    quiet.append(f"{r.protocol} seed={r.seed}: {name}")
+        assert not quiet, "\n".join(quiet)
+
+    def test_tee_gated_attacks_are_denied_not_just_absorbed(self, sweep):
+        """On the checker-based protocols, equivocate's duplicate
+        certificate requests must be *refused by the enclave*, not merely
+        outvoted.  (MinBFT's defense is receiver-side USIG verification —
+        the sender's TEE never sees the tampered copy — so it is exempt.)
+        """
+        checker_gated = {"achilles", "achilles-c", "damysus", "damysus-r"}
+        for r in sweep:
+            if r.protocol not in checker_gated or \
+                    "equivocate" not in r.extras["byz_strategies"]:
+                continue
+            assert r.extras["byz_denials"].get("equivocate", 0) > 0, \
+                f"{r.protocol} seed={r.seed}: no TEE denials"
+
+
+class TestNegativeControls:
+    @pytest.fixture(scope="class")
+    def controls(self):
+        return byz_negative_controls(duration_ms=2500.0, quiesce_ms=1000.0)
+
+    def test_at_least_three_controls(self):
+        assert len(BYZ_NEGATIVE_CONTROLS) >= 3
+
+    def test_every_attack_lands_on_the_undefended_protocol(self, controls):
+        assert len(controls) == len(BYZ_NEGATIVE_CONTROLS)
+        for r, (protocol, _, expected) in zip(controls,
+                                              BYZ_NEGATIVE_CONTROLS):
+            assert r.protocol == protocol
+            # expect_violations flips the check: tripping is success,
+            # so a landed attack reports zero *unexpected* violations...
+            assert r.violations == [], \
+                f"{protocol}: {r.violations}"
+            # ...and the demanded invariants all show up as tripped.
+            assert set(expected) <= set(r.extras["expected_tripped"]), \
+                f"{protocol}: expected {expected}, " \
+                f"tripped {r.extras['expected_tripped']}"
+            assert sum(r.extras["byz_attempts"].values()) > 0
+
+
+class _NoopStrategy(ByzStrategy):
+    """Registers, applies everywhere, never does anything."""
+
+    name = "noop-test"
+
+
+class TestHarnessSelfChecks:
+    def test_disengaged_strategy_hard_fails_the_run(self):
+        STRATEGIES["noop-test"] = _NoopStrategy
+        try:
+            spec = ChaosSpec(protocol="achilles", byz=("noop-test",),
+                             duration_ms=2000.0, quiesce_ms=800.0)
+            result = run_chaos(spec, seed=1)
+        finally:
+            del STRATEGIES["noop-test"]
+        assert any("[byz-engagement]" in v and "noop-test" in v
+                   for v in result.violations), result.violations
+
+    def test_missing_expected_violation_hard_fails_the_run(self):
+        """Demanding an agreement violation from a defended protocol must
+        fail loudly — a negative control that cannot land is a broken
+        control, not a pass."""
+        spec = ChaosSpec(protocol="achilles", byz=("equivocate",),
+                         expect_violations=("agreement",),
+                         duration_ms=2000.0, quiesce_ms=800.0)
+        result = run_chaos(spec, seed=1)
+        assert any("[expected-violation-missing]" in v and "agreement" in v
+                   for v in result.violations), result.violations

@@ -1,0 +1,114 @@
+"""The TrInc gapless-consumption claim under a Byzantine sender.
+
+``repro.tee.trinc`` claims a Byzantine node cannot hide messages: peer
+identifiers must be consumed in order, with no counter value skipped.
+These tests mount the attack exactly as the strategy engine's
+``skip-counter`` behavior does — burn counter values out-of-band, present
+the resulting gapped certificate, re-present a consumed one — and pin
+down that *every* correct receiver rejects, with the precise error the
+rule names.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.errors import EnclaveAbort
+from repro.tee.trinc import Usig
+
+N = 5
+BYZ = 0  #: the Byzantine sender
+
+
+@pytest.fixture
+def usigs():
+    pairs = generate_keypairs(range(N), seed=11)
+    ring = Keyring.from_keypairs(pairs)
+    return {
+        i: Usig(node_id=i, private_key=pairs[i].private, keyring=ring)
+        for i in range(N)
+    }
+
+
+class TestCounterSkip:
+    def test_every_correct_receiver_rejects_the_skip(self, usigs):
+        """Burning value 1 out-of-band and presenting value 2 trips the
+        gapless rule at every one of the 2f+1 − 1 correct receivers."""
+        byz = usigs[BYZ]
+        byz.create_ui("burned-out-of-band")  # value 1: never shown
+        gapped = byz.create_ui("visible-message")  # value 2
+        assert gapped.counter == 2
+        for i in range(1, N):
+            with pytest.raises(
+                    EnclaveAbort,
+                    match=r"UI gap for node 0: got 2, expected 1"):
+                usigs[i].verify_ui(gapped, "visible-message")
+
+    def test_rejected_skip_does_not_consume_the_value(self, usigs):
+        """The gap rejection leaves the receiver's cursor untouched: the
+        full in-order sequence can still be presented afterwards."""
+        byz = usigs[BYZ]
+        u1 = byz.create_ui("m1")
+        u2 = byz.create_ui("m2")
+        receiver = usigs[1]
+        with pytest.raises(EnclaveAbort, match="UI gap"):
+            receiver.verify_ui(u2, "m2")
+        assert receiver.verify_ui(u1, "m1")
+        assert receiver.verify_ui(u2, "m2")
+
+    def test_every_correct_receiver_rejects_reuse(self, usigs):
+        """A consumed certificate re-broadcast to the committee is a
+        replay at every receiver — in strict and gap-tolerant mode."""
+        byz = usigs[BYZ]
+        u1 = byz.create_ui("m1")
+        for i in range(1, N):
+            assert usigs[i].verify_ui(u1, "m1")
+        for i in range(1, N):
+            with pytest.raises(
+                    EnclaveAbort,
+                    match=r"UI replay for node 0: got 1, "
+                          r"already consumed up to 1"):
+                usigs[i].verify_ui(u1, "m1")
+            with pytest.raises(EnclaveAbort, match="UI replay"):
+                usigs[i].verify_ui(u1, "m1", allow_gaps=True)
+
+    def test_reused_value_on_a_different_message_hits_the_binding(self, usigs):
+        """Trying to spend a consumed value on *new* content fails the
+        message binding before the counter is even consulted — the
+        one-and-only-holder property that rules out equivocation."""
+        byz = usigs[BYZ]
+        u1 = byz.create_ui("m1")
+        usigs[1].verify_ui(u1, "m1")
+        with pytest.raises(EnclaveAbort, match="UI bound to a different message"):
+            usigs[1].verify_ui(u1, "m2")
+
+    def test_rebooted_virtual_counter_cannot_reissue_consumed_values(self, usigs):
+        """Rebooting resets the Byzantine sender's virtual counter, but
+        receivers remember the consumption high-water mark: re-issued low
+        values are replays, not fresh identifiers."""
+        byz = usigs[BYZ]
+        receiver = usigs[1]
+        receiver.verify_ui(byz.create_ui("m1"), "m1")
+        receiver.verify_ui(byz.create_ui("m2"), "m2")
+        byz.reboot()
+        byz.restart(N - 1)
+        reissued = byz.create_ui("fresh-after-reboot")
+        assert reissued.counter == 1  # the rollback hazard, sender-side
+        with pytest.raises(
+                EnclaveAbort,
+                match=r"UI replay for node 0: got 1, "
+                      r"already consumed up to 2"):
+            receiver.verify_ui(reissued, "fresh-after-reboot")
+
+    def test_gap_tolerant_mode_still_enforces_monotonicity(self, usigs):
+        """allow_gaps callers tolerate burned values but never reuse:
+        after consuming value 3, values ≤ 3 stay dead forever."""
+        byz = usigs[BYZ]
+        byz.create_ui("burned-1")
+        u2 = byz.create_ui("m2")
+        u3 = byz.create_ui("m3")
+        receiver = usigs[1]
+        assert receiver.verify_ui(u3, "m3", allow_gaps=True)
+        with pytest.raises(EnclaveAbort, match="UI replay"):
+            receiver.verify_ui(u2, "m2", allow_gaps=True)
