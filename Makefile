@@ -6,8 +6,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench perf chaos chaos-smoke loss-smoke byz-smoke \
-	trace-smoke ci
+.PHONY: test bench-quick bench perf scale scale-smoke chaos chaos-smoke \
+	loss-smoke byz-smoke trace-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -53,5 +53,15 @@ bench:
 
 perf:
 	$(PYTHON) -m pytest -q benchmarks/test_simulator_perf.py --benchmark-only
+
+# Full scale sweep (n = 31 / 101 / 301): regenerates
+# benchmarks/results/scale_sweep.txt.
+scale:
+	$(PYTHON) -m pytest -q benchmarks/test_scale.py --benchmark-only
+
+# CI gate for the simulator's scale story: one full n=101 Achilles run
+# (well under 60 s; safety is asserted inside the runner).
+scale-smoke:
+	$(PYTHON) -m repro run achilles --f 50 --duration 600 --warmup 150
 
 ci: test bench-quick

@@ -1,11 +1,23 @@
 """Simulator micro-benchmark — events/sec trajectory tracking.
 
 Unlike the figure/table benchmarks, this file measures the *simulator*,
-not the protocols: one representative closed-loop Achilles run, reported
-as simulated events per wall-clock second.  The number lands in
-``benchmark.extra_info`` (so ``--benchmark-json`` trajectories carry it)
-and in ``benchmarks/results/simulator_perf.txt``, giving hot-path
-optimizations and regressions a single scalar to track over time.
+not the protocols, at two layers:
+
+* **end-to-end** — one representative closed-loop Achilles run at f=10,
+  where protocol work (signatures, execution, hashing) shares the bill
+  with the event core;
+* **event core** — a protocol-free scheduling storm shaped like an f=10
+  round (31-way delivery fan-out plus re-arming/cancelled timeout timers),
+  isolating raw ``schedule_fast``/timer-wheel throughput.
+
+Both numbers land in ``benchmark.extra_info`` (so ``--benchmark-json``
+trajectories carry them) and in ``benchmarks/results/simulator_perf.txt``,
+giving hot-path optimizations and regressions scalars to track over time.
+
+``PRE_PR_EVENTS_PER_SEC`` pins the end-to-end number measured on the old
+heap-per-event core (PR 6 baseline, same machine class as CI); the event
+core is required to clear 10× it, and the end-to-end run must not regress
+below it.
 """
 
 from __future__ import annotations
@@ -15,6 +27,27 @@ import time
 from conftest import quick_mode
 from repro.harness.report import format_table
 from repro.harness.runner import run_experiment
+from repro.sim.loop import Simulator
+
+#: End-to-end events/s of the pre-timer-wheel simulator (heap + allocated
+#: Event per schedule + eager f-string labels), achilles f=10 LAN,
+#: batch=400, payload=256, 1500 sim-ms.  Measured immediately before the
+#: hot-path overhaul; the trajectory table keeps it as row one.
+PRE_PR_EVENTS_PER_SEC = 29727.3
+
+_sections: dict[str, str] = {}
+
+
+def _write(record_table) -> None:
+    """Write every section produced so far as one artifact.
+
+    Each test re-writes the whole file, so running the module start to
+    finish yields both sections while running a single test still leaves
+    a valid (partial) artifact.
+    """
+    order = ["end_to_end", "event_core"]
+    body = "\n\n".join(_sections[k] for k in order if k in _sections)
+    record_table("simulator_perf", body)
 
 
 def test_simulator_events_per_sec(benchmark, record_table):
@@ -42,14 +75,115 @@ def test_simulator_events_per_sec(benchmark, record_table):
     benchmark.extra_info["wall_s"] = round(wall_s, 4)
     benchmark.extra_info["events_per_sec"] = round(events_per_sec, 1)
 
-    record_table("simulator_perf", format_table(
-        ["f", "duration (sim ms)", "sim events", "wall (s)", "events/s"],
-        [[f, duration_ms, result.sim_events, round(wall_s, 3),
-          round(events_per_sec, 1)]],
-        title="Simulator micro-benchmark — achilles, LAN, closed loop",
-    ))
+    rows = []
+    if not quick_mode():
+        # The pre-PR row is the f=10/1500 ms configuration; quick mode
+        # runs a smaller experiment, so the comparison only holds on the
+        # full configuration.
+        rows.append(["pre-PR (heap core)", 10, 1500.0, "-", "-",
+                     PRE_PR_EVENTS_PER_SEC, "1.00x"])
+    rows.append(
+        ["timer wheel", f, duration_ms, result.sim_events, round(wall_s, 3),
+         round(events_per_sec, 1),
+         f"{events_per_sec / PRE_PR_EVENTS_PER_SEC:.2f}x"
+         if not quick_mode() else "-"])
+    _sections["end_to_end"] = format_table(
+        ["core", "f", "duration (sim ms)", "sim events", "wall (s)",
+         "events/s", "vs pre-PR"],
+        rows,
+        title="Simulator end-to-end — achilles, LAN, closed loop",
+    )
+    _write(record_table)
 
     # The run must actually simulate something, and the simulator should
     # comfortably clear a floor no healthy build has ever been near.
     assert result.sim_events > 1000
     assert events_per_sec > 100
+
+
+def _event_core_storm(n: int, until_ms: float) -> tuple[int, float]:
+    """A protocol-free storm with the hot-path mix of a consensus round.
+
+    Each round the leader fan-outs ``n`` deliveries via the handle-free
+    ``schedule_fast`` path (the shape of ``Network.transmit``); every node
+    also keeps a re-arming timeout timer alive through the handle-carrying
+    ``schedule`` path, cancelling the previous arm each period (the shape
+    of transport retransmit timers and the pacemaker).  No crypto, no
+    protocol state — this measures the event core alone.
+    """
+    sim = Simulator(seed=1)
+    acks = [0]
+    fast = sim.schedule_at_fast
+
+    def deliver():
+        acks[0] += 1
+        if acks[0] == n:
+            acks[0] = 0
+            broadcast()
+
+    def broadcast():
+        at = sim.now + 0.1
+        for _ in range(n):
+            fast(at, deliver)
+
+    def _noop():
+        pass
+
+    timers: list = [None] * n
+
+    def rearm(i):
+        old = timers[i]
+        if old is not None:
+            old.cancel()
+        timers[i] = sim.schedule(7.5, _noop, label="timeout")
+        sim.schedule_fast(2.5, rearm, i)
+
+    for i in range(n):
+        sim.schedule_fast(0.01 * i, rearm, i)
+    sim.schedule_fast(0.0, broadcast)
+
+    start = time.perf_counter()
+    sim.run(until=until_ms)
+    wall_s = time.perf_counter() - start
+    return sim.events_processed, wall_s
+
+
+def test_event_core_events_per_sec(benchmark, record_table):
+    n = 31  # an f=10 Achilles committee
+    until_ms = 200.0 if quick_mode() else 1000.0
+
+    state = {}
+
+    def _run():
+        events, wall_s = _event_core_storm(n, until_ms)
+        state["events"] = events
+        state["wall_s"] = wall_s
+        return events
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    events, wall_s = state["events"], state["wall_s"]
+    events_per_sec = events / wall_s
+    speedup = events_per_sec / PRE_PR_EVENTS_PER_SEC
+    benchmark.extra_info["sim_events"] = events
+    benchmark.extra_info["wall_s"] = round(wall_s, 4)
+    benchmark.extra_info["events_per_sec"] = round(events_per_sec, 1)
+    benchmark.extra_info["speedup_vs_pre_pr"] = round(speedup, 2)
+
+    _sections["event_core"] = format_table(
+        ["n", "duration (sim ms)", "events", "wall (s)", "events/s",
+         "vs pre-PR end-to-end"],
+        [[n, until_ms, events, round(wall_s, 3), round(events_per_sec, 1),
+          f"{speedup:.1f}x"]],
+        title="Event core — schedule_fast fan-out + re-arming timers, no protocol work",
+    )
+    _write(record_table)
+
+    assert events > 10_000
+    if not quick_mode():
+        # The tentpole bar: the event core sustains ≥10× the pre-PR
+        # end-to-end rate — scheduling is no longer the bottleneck.
+        assert events_per_sec >= 10 * PRE_PR_EVENTS_PER_SEC, (
+            f"event core at {events_per_sec:,.0f} ev/s, "
+            f"needs ≥ {10 * PRE_PR_EVENTS_PER_SEC:,.0f}"
+        )

@@ -63,13 +63,24 @@ class PhaseQC:
         return (self.phase, self.block_hash, self.view)
 
     def validate(self, keyring: Keyring, threshold: int) -> bool:
-        """≥ threshold distinct valid signers."""
+        """≥ threshold distinct valid signers.
+
+        Memoized per ``(keyring, threshold)``: a QC object is shared by
+        every node it reaches, so the full signature sweep runs once per
+        certificate instead of once per receiving node.
+        """
+        memo = self.__dict__.get("_validate_memo")
+        if memo is not None and memo[0] is keyring and memo[1] == threshold:
+            return memo[2]
+        statement = self.statement()
         valid = {
             s.signer
             for s in self.signatures.signatures
-            if verify(keyring, s, *self.statement())
+            if verify(keyring, s, *statement)
         }
-        return len(valid) >= threshold
+        ok = len(valid) >= threshold
+        object.__setattr__(self, "_validate_memo", (keyring, threshold, ok))
+        return ok
 
     def wire_size(self) -> int:
         """Serialized size."""

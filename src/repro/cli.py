@@ -352,6 +352,46 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
           "(open at https://ui.perfetto.dev)", file=sys.stderr)
 
 
+def cmd_perf_profile(args: argparse.Namespace) -> int:
+    """Run a standard experiment under cProfile and print the hot spots.
+
+    The regression-hunting workflow: run this before and after a change,
+    diff the top-N cumulative functions.  The experiment itself is the
+    same closed-loop run ``repro run`` would do, so simulated metrics in
+    the summary row are directly comparable with the benchmarks.
+    """
+    import cProfile
+    import pstats
+    import time
+
+    from repro.harness.runner import run_experiment
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = run_experiment(
+        args.protocol, f=args.faults, network=args.network,
+        batch_size=args.batch, payload_size=args.payload,
+        counter_write_ms=args.counter_write_ms,
+        duration_ms=args.duration, warmup_ms=args.warmup, seed=args.seed,
+        offered_load_tps=args.rate,
+    )
+    profiler.disable()
+    wall_s = time.perf_counter() - start
+
+    print(format_table(
+        _RESULT_HEADERS + ["sim events", "wall (s)", "events/s"],
+        [_result_row(result) + [result.sim_events, round(wall_s, 2),
+                                round(result.sim_events / wall_s, 1)]],
+        title=f"{args.protocol} — profiled run (cProfile overhead included)",
+    ))
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    return 0
+
+
 def cmd_protocols(args: argparse.Namespace) -> int:
     """List registered protocols."""
     import repro.baselines  # noqa: F401 (registration)
@@ -471,6 +511,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where the first failing seed's span trace "
                               "is dumped (Perfetto JSON)")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_perf = sub.add_parser(
+        "perf", help="simulator performance tooling")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_prof = perf_sub.add_parser(
+        "profile", help="run one experiment under cProfile and print the "
+                        "top-N cumulative hot functions")
+    p_prof.add_argument("protocol", nargs="?", default="achilles",
+                        help="protocol name (default: achilles)")
+    _add_workload_args(p_prof)
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="how many functions to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key")
+    p_prof.set_defaults(func=cmd_perf_profile)
 
     p_ls = sub.add_parser("protocols", help="list registered protocols")
     p_ls.set_defaults(func=cmd_protocols)

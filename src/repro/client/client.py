@@ -120,6 +120,9 @@ class SimulatedClient(Process):
         #: a duplicated/late reply must never double-count a commit for
         #: throughput/latency metrics (``replied_at`` is written once).
         self.duplicate_replies = 0
+        # Precomputed once: the retry timer is re-armed per submitted
+        # transaction, so an f-string here would run on the hot path.
+        self._retry_label = f"{self.name}.retry"
         network.attach(self.client_id, self)
 
     # ------------------------------------------------------------------
@@ -136,7 +139,7 @@ class SimulatedClient(Process):
         self.records[tx.key] = ClientRecord(tx=tx, submitted_at=self.sim.now)
         self.network.send(self.client_id, to_replica % self.n_replicas,
                           ClientRequest(tx=tx, reply_to=self.client_id))
-        self.after(self.retry_ms, lambda: self._retry(tx.key), label=f"{self.name}.retry")
+        self.after(self.retry_ms, lambda: self._retry(tx.key), label=self._retry_label)
         return tx
 
     def _retry(self, tx_key: tuple[int, int]) -> None:
@@ -148,7 +151,7 @@ class SimulatedClient(Process):
         for replica in range(self.n_replicas):
             self.network.send(self.client_id, replica,
                               ClientRequest(tx=record.tx, reply_to=self.client_id))
-        self.after(self.retry_ms, lambda: self._retry(tx_key), label=f"{self.name}.retry")
+        self.after(self.retry_ms, lambda: self._retry(tx_key), label=self._retry_label)
 
     # ------------------------------------------------------------------
     def read(self, key: str, f: int) -> "ReadOperation":

@@ -94,6 +94,12 @@ class ReplicaBase(Process):
         # Causal span tracer (repro.obs); checked via `.enabled` on every
         # emission site so untraced runs pay one branch per site.
         self._obs = sim.obs
+        # Per-instance handler dispatch cache: message kind -> unbound
+        # ``on_<kind>`` function (or None).  Replaces a getattr + bound
+        # method creation per delivered message with one dict hit.
+        # Per-instance (not per-class) so dynamically created subclasses
+        # (the Byzantine wrapper) can never share stale entries.
+        self._handlers: dict[str, Any] = {}
 
         self._pending_cost = 0.0
         self._outbox: list[tuple[int, Any]] = []
@@ -132,26 +138,38 @@ class ReplicaBase(Process):
     # Network endpoint + CPU-accounted dispatch
     # ------------------------------------------------------------------
     def deliver(self, envelope: Envelope) -> None:
-        """Network entry point: queue the message behind the node's CPU."""
+        """Network entry point: queue the message behind the node's CPU.
+
+        Dispatch is scheduled through the handle-free fast path — a
+        delivered message is never cancelled (crash/epoch guards run at
+        fire time), so it needs neither an Event handle nor a closure.
+        """
         if not self.alive:
             return
+        sim = self.sim
+        now = sim.now
         recv_cost = self.config.costs.recv_cost(envelope.size)
-        ready = self.cpu.account(self.sim.now, recv_cost)
-        epoch = self.epoch
-        arrival = self.sim.now
-
-        def dispatch() -> None:
-            if self.alive and self.epoch == epoch:
-                self._dispatch(envelope, arrival)
-
-        if ready <= self.sim.now:
-            self.sim.call_soon(dispatch, label=f"{self.name}.dispatch")
+        ready = self.cpu.account(now, recv_cost)
+        if ready <= now:
+            sim.queue.push_fast(now, self._guarded_dispatch,
+                                (envelope, self.epoch, now))
         else:
-            self.sim.schedule_at(ready, dispatch, label=f"{self.name}.dispatch")
+            sim.queue.push_fast(ready, self._guarded_dispatch,
+                                (envelope, self.epoch, now))
+
+    def _guarded_dispatch(self, envelope: Envelope, epoch: int,
+                          arrival: float) -> None:
+        if self.alive and self.epoch == epoch:
+            self._dispatch(envelope, arrival)
 
     def _dispatch(self, envelope: Envelope, arrival: Optional[float] = None) -> None:
-        kind = type(envelope.payload).__name__
-        handler = getattr(self, f"on_{kind}", None)
+        payload = envelope.payload
+        kind = payload.__class__.__name__
+        handlers = self._handlers
+        handler = handlers.get(kind, False)
+        if handler is False:
+            handler = getattr(type(self), f"on_{kind}", None)
+            handlers[kind] = handler
         if handler is None:
             self.sim.trace.record(self.sim.now, "unhandled_message",
                                   self.node_id, message_kind=kind)
@@ -161,7 +179,19 @@ class ReplicaBase(Process):
             obs.stage_dispatch(self.node_id, kind,
                                self.sim.now if arrival is None else arrival,
                                obs.take_route(envelope.msg_id))
-        self.run_work(lambda: handler(envelope.payload, envelope.src))
+        # Inlined run_work (one unit of work per delivered message): the
+        # wrapper-closure version cost an allocation + two calls per
+        # message on the hottest path in the simulator.
+        if self._in_handler:
+            handler(self, payload, envelope.src)
+            return
+        sid = obs.open_work(self.node_id, self.sim.now) if obs.enabled else 0
+        self._in_handler = True
+        try:
+            handler(self, payload, envelope.src)
+        finally:
+            self._in_handler = False
+            self._flush(sid)
 
     def run_work(self, fn: Callable[[], None]) -> None:
         """Run protocol work with cost accounting and deferred sends.
@@ -188,43 +218,46 @@ class ReplicaBase(Process):
         outbox = self._outbox
         self._pending_cost = 0.0
         self._outbox = []
-        cost += self.config.costs.msg_send_ms * len(outbox)
+        if outbox:
+            cost += self.config.costs.msg_send_ms * len(outbox)
         finish = self.cpu.account(self.sim.now, cost)
         if sid:
             self._obs.close_work(sid, finish - cost, finish)
         if not outbox:
             return
-        epoch = self.epoch
-
-        def transmit() -> None:
-            if not self.alive or self.epoch != epoch:
-                return
-            for dst, payload in outbox:
-                if dst == self.node_id:
-                    envelope = Envelope.make(self.node_id, self.node_id,
-                                             payload, self.sim.now)
-                    if sid and self._obs.enabled:
-                        # Loopback skips the network; give it a pseudo
-                        # net span so the causal chain stays unbroken
-                        # (leader self-votes sit on the commit path).
-                        self._obs.net_span(
-                            sid, envelope.msg_id, self.node_id,
-                            self.node_id, type(payload).__name__,
-                            self.sim.now,
-                            self.sim.now + self.LOOPBACK_EPSILON_MS,
-                            envelope.size, loopback=True)
-                    self.sim.schedule(self.LOOPBACK_EPSILON_MS,
-                                      lambda e=envelope: self.alive
-                                      and self.epoch == epoch
-                                      and self._dispatch(e),
-                                      label=f"{self.name}.loopback")
-                else:
-                    self.network.send(self.node_id, dst, payload, cause=sid)
-
         if finish <= self.sim.now:
-            transmit()
+            self._transmit_outbox(outbox, self.epoch, sid)
         else:
-            self.sim.schedule_at(finish, transmit, label=f"{self.name}.tx")
+            self.sim.queue.push_fast(finish, self._transmit_outbox,
+                                     (outbox, self.epoch, sid))
+
+    def _transmit_outbox(self, outbox: list, epoch: int, sid: int) -> None:
+        if not self.alive or self.epoch != epoch:
+            return
+        node_id = self.node_id
+        send = self.network.send
+        for dst, payload in outbox:
+            if dst == node_id:
+                sim = self.sim
+                envelope = Envelope.make(node_id, node_id, payload, sim.now)
+                if sid and self._obs.enabled:
+                    # Loopback skips the network; give it a pseudo
+                    # net span so the causal chain stays unbroken
+                    # (leader self-votes sit on the commit path).
+                    self._obs.net_span(
+                        sid, envelope.msg_id, node_id, node_id,
+                        type(payload).__name__, sim.now,
+                        sim.now + self.LOOPBACK_EPSILON_MS,
+                        envelope.size, loopback=True)
+                sim.queue.push_fast(sim.now + self.LOOPBACK_EPSILON_MS,
+                                    self._loopback_dispatch,
+                                    (envelope, epoch))
+            else:
+                send(node_id, dst, payload, cause=sid)
+
+    def _loopback_dispatch(self, envelope: Envelope, epoch: int) -> None:
+        if self.alive and self.epoch == epoch:
+            self._dispatch(envelope)
 
     # ------------------------------------------------------------------
     # Cost + send helpers (valid inside run_work)
@@ -323,7 +356,8 @@ class ReplicaBase(Process):
         now = self.sim.now
         listener = self.listener
         on_replies = getattr(listener, "on_replies", None)
-        trace_record = self.sim.trace.record
+        trace = self.sim.trace
+        trace_record = trace.record if trace.enabled else None
         obs = self._obs if self._obs.enabled else None
         for b in newly:
             if obs is not None:
@@ -331,8 +365,9 @@ class ReplicaBase(Process):
             self.charge(self.config.costs.exec_cost(len(b.txs)))
             if self.state_machine is not None:
                 self.state_machine.apply_batch(b.txs)
-            trace_record(now, "commit", self.node_id,
-                         block=b.hash, view=b.view, height=b.height)
+            if trace_record is not None:
+                trace_record(now, "commit", self.node_id,
+                             block=b.hash, view=b.view, height=b.height)
             if listener is not None:
                 listener.on_commit(self.node_id, b, now)
                 if reply:

@@ -102,14 +102,25 @@ class CommitmentCertificate:
         return digest_of(*self.statement())
 
     def validate(self, keyring: Keyring, threshold: int) -> bool:
-        """≥ ``threshold`` distinct valid signers over the store statement."""
+        """≥ ``threshold`` distinct valid signers over the store statement.
+
+        Memoized per ``(keyring, threshold)``: the certificate and the
+        keyring are immutable, and the same certificate object reaches
+        every node in the committee — without the memo an n=301 run
+        re-verifies the same f+1 signatures 301 times per block.
+        """
+        memo = self.__dict__.get("_validate_memo")
+        if memo is not None and memo[0] is keyring and memo[1] == threshold:
+            return memo[2]
         digest = self.statement_digest
         valid = {
             s.signer
             for s in self.signatures.signatures
             if verify(keyring, s, digest=digest)
         }
-        return len(valid) >= threshold
+        ok = len(valid) >= threshold
+        object.__setattr__(self, "_validate_memo", (keyring, threshold, ok))
+        return ok
 
     def signers(self) -> set[int]:
         """Distinct signer ids."""
@@ -148,10 +159,19 @@ class AccumulatorCertificate:
         return digest_of(*self.statement())
 
     def validate(self, keyring: Keyring, quorum: int) -> bool:
-        """Signature valid and the id vector names ≥ quorum distinct nodes."""
-        if len(set(self.ids)) < quorum:
-            return False
-        return verify(keyring, self.signature, digest=self.statement_digest)
+        """Signature valid and the id vector names ≥ quorum distinct nodes.
+
+        Memoized per ``(keyring, quorum)`` like
+        :meth:`CommitmentCertificate.validate` — one accumulator object is
+        validated by every recovery participant.
+        """
+        memo = self.__dict__.get("_validate_memo")
+        if memo is not None and memo[0] is keyring and memo[1] == quorum:
+            return memo[2]
+        ok = (len(set(self.ids)) >= quorum
+              and verify(keyring, self.signature, digest=self.statement_digest))
+        object.__setattr__(self, "_validate_memo", (keyring, quorum, ok))
+        return ok
 
     def wire_size(self) -> int:
         """Serialized size."""

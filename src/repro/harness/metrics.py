@@ -42,6 +42,11 @@ class LatencyStats:
         self.samples.append(value)
         self._sorted = None
 
+    def add_many(self, values: list[float]) -> None:
+        """Record a batch of samples in order (one invalidation)."""
+        self.samples.extend(values)
+        self._sorted = None
+
     @property
     def count(self) -> int:
         """Number of samples."""
@@ -86,6 +91,11 @@ class MetricsCollector:
         self._block_txs: dict[str, int] = {}
         self._first_commit_at: dict[str, float] = {}
         self._replied: set[tuple[int, int]] = set()
+        # Batches already fully processed by on_replies, keyed by
+        # (first tx key, last tx key, length).  Every replica reports every
+        # committed block, so after the first report a batch is 100%
+        # duplicates — this set turns the n−1 re-reports into O(1) each.
+        self._batches_replied: set[tuple] = set()
         self.commit_latency = LatencyStats()
         self.e2e_latency = LatencyStats()
         self.txs_committed = 0
@@ -145,6 +155,17 @@ class MetricsCollector:
         every replica reports every committed transaction, so the per-call
         overhead of the unbatched path dominated commit processing.
         """
+        if not txs:
+            return
+        batch_key = (txs[0].key, txs[-1].key, len(txs))
+        if batch_key in self._batches_replied:
+            # Re-report of a fully processed batch (another replica's
+            # commit): every transaction is a duplicate by construction —
+            # a batch maps to exactly one committed block, and the first
+            # report marked them all.
+            self.duplicate_replies += len(txs)
+            return
+        self._batches_replied.add(batch_key)
         replied = self._replied
         if now < self.warmup_ms:
             # Warmup replies still mark transactions as replied (the first
@@ -155,15 +176,21 @@ class MetricsCollector:
                 else:
                     replied.add(tx.key)
             return
-        record = self.e2e_latency.add
         arrival = now + self.reply_one_way_ms
+        samples: list[float] = []
+        record = samples.append
+        duplicates = 0
         for tx in txs:
             key = tx.key
             if key not in replied:
                 replied.add(key)
                 record(arrival - tx.created_at)
             else:
-                self.duplicate_replies += 1
+                duplicates += 1
+        if duplicates:
+            self.duplicate_replies += duplicates
+        if samples:
+            self.e2e_latency.add_many(samples)
 
     # ------------------------------------------------------------------
     # Derived metrics

@@ -188,7 +188,9 @@ def run_experiment(
         faults=faults,
         transport=transport,
     )
-    cluster.sim.trace.enabled = False  # counters still tick; bodies skipped
+    # Hot call sites are guarded on this flag, so a disabled recorder costs
+    # nothing; cold sites still tick their event counters.
+    cluster.sim.trace.enabled = False
     if trace or trace_path:
         cluster.sim.obs.enabled = True
         if trace_max_spans is not None:

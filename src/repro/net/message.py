@@ -10,7 +10,6 @@ protocols at scale.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Fixed framing overhead per message (headers, type tags, lengths).
@@ -53,38 +52,66 @@ def wire_size(payload: Any) -> int:
 _envelope_ids = itertools.count(1)
 
 
-@dataclass
 class Envelope:
-    """A routed message in flight."""
+    """A routed message in flight.
 
-    src: int
-    dst: int
-    payload: Any
-    size: int
-    sent_at: float
-    msg_id: int = field(default_factory=lambda: next(_envelope_ids))
-    #: Transport header (:class:`repro.net.transport.Frame`) or None when
-    #: no reliable channel stamped the send.  Its estimated wire size is
-    #: part of :data:`HEADER_BYTES`, so stamping never changes ``size``.
-    frame: Optional[Any] = None
-    #: HMAC-style integrity tag over the header (set by the sender when
-    #: the fabric can corrupt; verified by the receiver).
-    auth: Optional[str] = None
-    #: The fabric corrupted this copy in flight (must be detected).
-    corrupted: bool = False
-    #: This copy was duplicated by the fabric (not sent by the sender).
-    duplicate: bool = False
+    Slotted and hand-rolled: an n-way broadcast mints one envelope per
+    destination, so per-instance ``__dict__`` overhead and dataclass
+    ``__init__`` indirection were measurable at scale.  Field semantics:
+
+    * ``frame`` — transport header (:class:`repro.net.transport.Frame`)
+      or None when no reliable channel stamped the send.  Its estimated
+      wire size is part of :data:`HEADER_BYTES`, so stamping never
+      changes ``size``.
+    * ``auth`` — HMAC-style integrity tag over the header (set by the
+      sender when the fabric can corrupt; verified by the receiver).
+    * ``corrupted`` — the fabric corrupted this copy in flight.
+    * ``duplicate`` — this copy was duplicated by the fabric.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size", "sent_at", "msg_id",
+                 "frame", "auth", "corrupted", "duplicate")
+
+    def __init__(self, src: int, dst: int, payload: Any, size: int,
+                 sent_at: float, msg_id: Optional[int] = None,
+                 frame: Optional[Any] = None, auth: Optional[str] = None,
+                 corrupted: bool = False, duplicate: bool = False) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+        self.msg_id = next(_envelope_ids) if msg_id is None else msg_id
+        self.frame = frame
+        self.auth = auth
+        self.corrupted = corrupted
+        self.duplicate = duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Envelope(src={self.src}, dst={self.dst}, "
+                f"payload={self.payload!r}, size={self.size}, "
+                f"sent_at={self.sent_at}, msg_id={self.msg_id})")
 
     @classmethod
     def make(cls, src: int, dst: int, payload: Any, sent_at: float) -> "Envelope":
-        """Build an envelope, estimating wire size from the payload."""
-        return cls(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size=HEADER_BYTES + wire_size(payload),
-            sent_at=sent_at,
-        )
+        """Build an envelope, estimating wire size from the payload.
+
+        The estimate is interned on the payload object (``_env_size``):
+        protocol payloads are immutable (frozen dataclasses), and one
+        broadcast wraps the *same* payload object n−1 times — without the
+        memo every fan-out destination re-walked the payload's size
+        recursively.  Payloads that reject attributes (slotted or builtin
+        types) simply recompute, matching the old behaviour.
+        """
+        try:
+            size = payload._env_size
+        except AttributeError:
+            size = HEADER_BYTES + wire_size(payload)
+            try:
+                object.__setattr__(payload, "_env_size", size)
+            except (AttributeError, TypeError):
+                pass
+        return cls(src, dst, payload, size, sent_at)
 
     def fabric_duplicate(self) -> "Envelope":
         """A second in-flight copy of this envelope (fault-model

@@ -123,6 +123,11 @@ class Network:
         self._seal_sends = faults is not None and faults.corrupt_possible
         self._rng = sim.fork_rng("network")
         self._obs = sim.obs
+        # Hot-path hoists: per-message getattr/bound-method construction in
+        # ``transmit`` was measurable at broadcast fan-out scale.  Geo-aware
+        # profiles expose per-link sampling; flat ones don't.
+        self._sample_link = getattr(latency, "sample_link", None)
+        self._deliver_ref = self._deliver
 
     @property
     def transport_engaged(self) -> bool:
@@ -208,33 +213,40 @@ class Network:
         re-faces the adversary, the fault model, and fresh latency draws,
         exactly like the original copy did.
         """
-        src, dst, payload = envelope.src, envelope.dst, envelope.payload
-        now = self.sim.now
+        src = envelope.src
+        dst = envelope.dst
+        payload = envelope.payload
+        sim = self.sim
+        now = sim.now
         extra = self.adversary.verdict(src, dst, payload, now)
+        stats = self.stats
         if extra is None:
-            self.stats.adversary_dropped += 1
+            stats.adversary_dropped += 1
             return
-        self.stats.note_send(envelope)
+        size = envelope.size
+        kind = payload.__class__.__name__
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
         if self._seal_sends and envelope.auth is None:
             seal_envelope(envelope)
 
         faults = self.faults
-        fate = faults.verdict(src, dst, type(payload).__name__) \
-            if faults is not None else None
+        fate = faults.verdict(src, dst, kind) if faults is not None else None
 
+        rng = self._rng
         # NIC serialization occupies the sender's transmit queue...
-        departure = self.bandwidth.serialize(src, now, envelope.size)
+        departure = self.bandwidth.serialize(src, now, size)
         # ...then propagation (+ partial-synchrony shaping + adversary delay).
-        # Geo-aware profiles expose per-link sampling; flat ones don't.
-        sample_link = getattr(self.latency, "sample_link", None)
+        sample_link = self._sample_link
         if sample_link is not None:
-            nominal = sample_link(src, dst, self._rng)
+            nominal = sample_link(src, dst, rng)
         else:
-            nominal = self.latency.sample(self._rng)
-        actual = self.synchrony.actual_delay(src, dst, now, nominal, self._rng)
+            nominal = self.latency.sample(rng)
+        actual = self.synchrony.actual_delay(src, dst, now, nominal, rng)
         arrival = departure + actual + extra
         obs = self._obs
-        kind = type(payload).__name__
 
         if fate is not None and (fate.drop or fate.duplicate
                                  or fate.extra_delay_ms or fate.corrupt):
@@ -242,31 +254,28 @@ class Network:
             copy = envelope.fabric_duplicate() if fate.duplicate else None
             if fate.corrupt:
                 envelope.corrupt()
-                self.stats.fault_corrupted += 1
+                stats.fault_corrupted += 1
             if copy is not None:
                 if fate.corrupt_dup:
                     copy.corrupt()
-                    self.stats.fault_corrupted += 1
-                self.stats.fault_duplicated += 1
+                    stats.fault_corrupted += 1
+                stats.fault_duplicated += 1
                 dup_arrival = arrival + fate.dup_delay_ms
-                self.sim.schedule_at(dup_arrival,
-                                     lambda: self._deliver(copy),
-                                     label=f"net dup {src}->{dst}")
+                sim.schedule_at_fast(dup_arrival, self._deliver_ref, copy)
                 if obs.enabled:
                     obs.net_span(cause, copy.msg_id, src, dst, kind,
-                                 now, dup_arrival, envelope.size,
+                                 now, dup_arrival, size,
                                  duplicate=True)
             if fate.drop:
-                self.stats.fault_dropped += 1
+                stats.fault_dropped += 1
                 if obs.enabled:
                     obs.instant("net_loss", src, now, dst=dst, kind=kind)
                 return
 
-        self.sim.schedule_at(arrival, lambda: self._deliver(envelope),
-                             label=f"net {src}->{dst}")
+        sim.schedule_at_fast(arrival, self._deliver_ref, envelope)
         if obs.enabled:
             obs.net_span(cause, envelope.msg_id, src, dst, kind, now,
-                         arrival, envelope.size, retransmit=retransmit)
+                         arrival, size, retransmit=retransmit)
 
     def _deliver(self, envelope: Envelope) -> None:
         endpoint = self._endpoints.get(envelope.dst)

@@ -319,10 +319,11 @@ class ReliableChannel:
         deadline = max(min(f.next_due for f in peer.inflight.values()),
                        sim.now)
         generation = self._generation
+        # No label: a channel re-arms this timer on every send, and the
+        # old f-string label allocation dominated the stamp path.
         peer.timer = sim.schedule_at(
             deadline,
-            lambda: self._retransmit_due(peer_id, generation),
-            label=f"transport.rtx {self.node_id}->{peer_id}")
+            lambda: self._retransmit_due(peer_id, generation))
 
     def _retransmit_due(self, peer_id: int, generation: int) -> None:
         if generation != self._generation:
@@ -423,8 +424,7 @@ class ReliableChannel:
         generation = self._generation
         self._ack_timers[peer_id] = self.network.sim.schedule(
             self.config.ack_delay_ms,
-            lambda: self._ack_due(peer_id, generation),
-            label=f"transport.ack {self.node_id}->{peer_id}")
+            lambda: self._ack_due(peer_id, generation))
 
     def _ack_due(self, peer_id: int, generation: int) -> None:
         if generation != self._generation:

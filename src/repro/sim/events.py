@@ -7,31 +7,76 @@ using the same unit everywhere keeps configs readable.
 Determinism: the queue orders events by ``(time, sequence)`` where the
 sequence number is assigned at insertion.  Two events scheduled for the same
 instant therefore fire in insertion order on every run.
+
+Architecture (the simulator hot path)
+-------------------------------------
+The queue is a **hierarchical timer wheel with a heap overflow**:
+
+* A wheel of ``wheel_slots`` buckets, each ``granularity_ms`` wide, covers
+  the short horizon ``[base, base + wheel_slots * granularity_ms)`` where
+  nearly every event lands (message deliveries, CPU completions,
+  retransmit/ACK timers, pacemaker timeouts).  Insertion into a future
+  bucket is an O(1) unsorted append — no heap sift.
+* When the drain cursor reaches a bucket, the bucket is heapified once
+  into the **active heap**; pops come off the active heap so the global
+  ``(time, seq)`` order is exact.  Insertions at or behind the cursor go
+  straight into the active heap (heap order covers them), so a late
+  insertion can never be misordered by bucket rounding: the bucket index
+  is a monotonic function of time, and ties always share a bucket.
+* Events past the wheel horizon go to an **overflow heap**.  When the
+  wheel fully drains, the queue *rebases* — the wheel window jumps
+  forward to the earliest overflow event and near-horizon overflow
+  entries redistribute into buckets.  Overflow times are always beyond
+  every wheel time, so the two structures never interleave.
+
+Two entry shapes share the structure (``seq`` is unique, so comparisons
+never reach the third element):
+
+* ``(time, seq, Event)`` — the cancellable slow path (:meth:`push`);
+* ``(time, seq, callback, args)`` — the handle-free fast path
+  (:meth:`push_fast`) used for fire-and-forget schedules (message
+  deliveries, dispatch completions).  No :class:`Event` object, no
+  closure, no lazy-deletion bookkeeping — the entry tuple is the event.
+
+Fired :class:`Event` objects can be recycled through a small free pool
+(:meth:`release`); the ``Timer`` layer returns its events after every
+fire, so steady-state timer traffic allocates nothing.  Only *fired*
+events are poolable: a cancelled event still sits in a bucket (lazy
+deletion), and reusing it would resurrect that stale entry.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True, slots=True)
 class Event:
-    """A single scheduled callback.
+    """A single scheduled callback (the cancellable slow path).
 
-    Events are compared by ``(time, seq)`` only; the callback and its
-    metadata are excluded from ordering.  Slotted: the simulator creates
-    one per scheduled callback, hundreds of thousands per experiment.
+    Compared by ``(time, seq)`` only; the callback and its metadata are
+    excluded from ordering.  Slotted and hand-rolled: the simulator may
+    create one per cancellable schedule, and pooled reuse (see
+    :meth:`EventQueue.release`) requires mutable fields.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    fired: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.fired = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time}, seq={self.seq}, {state}, label={self.label!r})"
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1) lazy deletion).
@@ -44,19 +89,31 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects.
+    """Deterministic timer-wheel event queue (see module docstring).
 
-    Internally the heap holds ``(time, seq, event)`` tuples rather than the
-    events themselves: ``seq`` is unique, so heapify never reaches the third
-    element and every sift comparison is a C-level float/int compare instead
-    of a call into the dataclass-generated ``Event.__lt__`` (which dominated
-    simulator profiles).  Ordering is unchanged — ``(time, seq)`` either way.
+    Ordering contract is identical to the previous pure-heap
+    implementation: strict ``(time, seq)`` order, ``seq`` assigned at
+    insertion from one counter shared by both entry shapes.
     """
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+    #: Free-pool bound: enough to cover every live timer in an n=301 run
+    #: without letting a cancellation storm hoard memory.
+    _POOL_MAX = 4096
+
+    def __init__(self, wheel_slots: int = 2048,
+                 granularity_ms: float = 0.5) -> None:
+        self._nslots = wheel_slots
+        self._gran = granularity_ms
+        self._horizon = wheel_slots * granularity_ms
+        self._slots: list[list] = [[] for _ in range(wheel_slots)]
+        self._base = 0.0      # absolute time of slot 0 in this rotation
+        self._cursor = 0      # bucket currently merged into the active heap
+        self._active: list = []    # heap: entries due at/behind the cursor
+        self._overflow: list = []  # heap: entries beyond the wheel horizon
+        self._wheel_count = 0      # entries parked in future buckets
+        self._seq = 0
         self._live = 0
+        self._pool: list[Event] = []
 
     def __len__(self) -> int:
         return self._live
@@ -64,36 +121,178 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def _insert(self, entry: tuple, time: float) -> None:
+        idx = int((time - self._base) / self._gran)
+        if idx <= self._cursor:
+            # Due now / behind the cursor: heap order covers it exactly.
+            heappush(self._active, entry)
+        elif idx < self._nslots:
+            self._slots[idx].append(entry)
+            self._wheel_count += 1
+        elif not self._wheel_count and not self._active:
+            if self._overflow:
+                heappush(self._overflow, entry)
+            else:
+                # Whole queue empty: realign the wheel window on this event
+                # instead of parking it in overflow (keeps isolated
+                # far-future schedules, e.g. after a long idle gap, cheap).
+                self._base = time
+                self._cursor = 0
+                heappush(self._active, entry)
+        else:
+            heappush(self._overflow, entry)
+
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Insert a callback to fire at ``time``; returns a cancellable handle."""
-        seq = next(self._seq)
-        event = Event(time=time, seq=seq, callback=callback, label=label)
-        heapq.heappush(self._heap, (time, seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.label = label
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, seq, callback, label)
+        self._insert((time, seq, event), time)
         self._live += 1
         return event
+
+    def push_fast(self, time: float, callback: Callable[..., None],
+                  args: tuple = ()) -> None:
+        """Handle-free insert: no :class:`Event`, nothing to cancel.
+
+        ``callback(*args)`` runs at ``time``.  Use for the fire-and-forget
+        majority of schedules (message deliveries, dispatch completions);
+        anything that may need cancelling must use :meth:`push`.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._insert((time, seq, callback, args), time)
+        self._live += 1
+
+    def release(self, event: Event) -> None:
+        """Return a *fired* event handle to the free pool for reuse.
+
+        Callers must guarantee no other reference to the handle survives.
+        Cancelled-but-unfired events are rejected: they still sit in a
+        bucket awaiting lazy deletion, and recycling one would resurrect
+        that stale entry under a new identity.
+        """
+        if event.fired and len(self._pool) < self._POOL_MAX:
+            self._pool.append(event)
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def _settle(self) -> bool:
+        """Advance cursor/rebase until the active heap's top is a live
+        entry; False when the queue is exhausted."""
+        active = self._active
+        slots = self._slots
+        while True:
+            while active:
+                top = active[0]
+                if len(top) == 3 and top[2].cancelled:
+                    heappop(active)
+                    continue
+                return True
+            if self._wheel_count:
+                c = self._cursor + 1
+                n = self._nslots
+                while c < n:
+                    bucket = slots[c]
+                    if bucket:
+                        self._cursor = c
+                        self._wheel_count -= len(bucket)
+                        slots[c] = []
+                        heapify(bucket)
+                        self._active = active = bucket
+                        break
+                    c += 1
+                else:
+                    self._wheel_count = 0  # defensive: count drifted
+                continue
+            if self._overflow:
+                self._rebase()
+                continue
+            return False
+
+    def _rebase(self) -> None:
+        """Jump the wheel window forward onto the earliest overflow event
+        and redistribute the near-horizon overflow into buckets.
+
+        Only called with the wheel and active heap empty, so every
+        remaining entry lives in overflow and the new window is
+        consistent for all of them.
+        """
+        overflow = self._overflow
+        base = overflow[0][0]
+        self._base = base
+        self._cursor = 0
+        limit = base + self._horizon
+        gran = self._gran
+        slots = self._slots
+        active = self._active
+        while overflow and overflow[0][0] < limit:
+            entry = heappop(overflow)
+            idx = int((entry[0] - base) / gran)
+            if idx <= 0:
+                heappush(active, entry)
+            else:
+                slots[idx].append(entry)
+                self._wheel_count += 1
+
+    def pop_due(self, limit: Optional[float]) -> Optional[tuple]:
+        """Remove and return the earliest live entry due at or before
+        ``limit`` (``None`` = no bound), or ``None``.
+
+        Slow entries come back as ``(time, seq, Event)`` with the event
+        marked fired; fast entries as ``(time, seq, callback, args)``.
+        """
+        if not self._settle():
+            self._live = 0
+            return None
+        active = self._active
+        if limit is not None and active[0][0] > limit:
+            return None
+        entry = heappop(active)
+        self._live -= 1
+        if len(entry) == 3:
+            entry[2].fired = True
+        return entry
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``.
 
         The returned event is marked ``fired`` so a later ``cancel`` of its
         handle cannot corrupt the live count (see :meth:`note_cancelled`).
+        Fast-path entries come back wrapped in a transient (already-fired)
+        :class:`Event` so direct queue consumers keep working; the run loop
+        itself uses :meth:`pop_due` and never pays for the wrapper.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)[2]
-            if event.cancelled:
-                continue
-            event.fired = True
-            self._live -= 1
-            return event
-        self._live = 0
-        return None
+        entry = self.pop_due(None)
+        if entry is None:
+            return None
+        if len(entry) == 3:
+            return entry[2]
+        time, seq, callback, args = entry
+        event = Event(time, seq,
+                      callback if not args else (lambda: callback(*args)))
+        event.fired = True
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event, or ``None`` if empty."""
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+        if not self._settle():
+            return None
+        return self._active[0][0]
 
     def note_cancelled(self) -> None:
         """Bookkeeping hook: an event handle obtained from :meth:`push` was

@@ -4,6 +4,19 @@
 randomness in a run (network jitter, client arrivals, election timeouts)
 must come from :attr:`Simulator.rng` or a generator forked from it via
 :meth:`fork_rng`, so a run is a pure function of ``(configuration, seed)``.
+
+Two scheduling paths share one ``(time, seq)`` order:
+
+* :meth:`schedule` / :meth:`schedule_at` — returns a cancellable
+  :class:`~repro.sim.events.Event` handle (timers, anything revocable);
+* :meth:`schedule_fast` / :meth:`schedule_at_fast` — handle-free
+  fire-and-forget scheduling for the hot majority (message deliveries,
+  dispatch completions).  No handle, no Event allocation, no closure:
+  callback arguments ride in the queue entry itself.
+
+:meth:`run` drains the queue with an inlined loop (no per-event
+``peek``/``step`` method pair); :meth:`step` remains for callers that
+interleave simulation with checks (the cluster harness, chaos campaigns).
 """
 
 from __future__ import annotations
@@ -51,6 +64,26 @@ class Simulator:
             )
         return self.queue.push(time, callback, label)
 
+    def schedule_fast(self, delay: float, callback: Callable[..., None],
+                      *args) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no Event object.
+
+        ``callback(*args)`` runs ``delay`` ms from now.  Use only for
+        schedules that are never cancelled — there is nothing to cancel.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.queue.push_fast(self.now + delay, callback, args)
+
+    def schedule_at_fast(self, time: float, callback: Callable[..., None],
+                         *args) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`schedule_fast`)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self.queue.push_fast(time, callback, args)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event; a no-op on already-fired events.
 
@@ -63,6 +96,14 @@ class Simulator:
             event.cancel()
             self.queue.note_cancelled()
 
+    def release(self, event: Event) -> None:
+        """Recycle a fired event handle (see :meth:`EventQueue.release`).
+
+        Only for holders that know no other reference survives — the
+        :class:`~repro.sim.process.Timer` layer after a fire, primarily.
+        """
+        self.queue.release(event)
+
     def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` for the current instant (after pending
         same-time events, preserving insertion order)."""
@@ -73,14 +114,18 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process one event.  Returns False when the queue is empty."""
-        event = self.queue.pop()
-        if event is None:
+        entry = self.queue.pop_due(None)
+        if entry is None:
             return False
-        if event.time < self.now:
+        time = entry[0]
+        if time < self.now:
             raise SimulationError("event queue returned an event from the past")
-        self.now = event.time
+        self.now = time
         self._events_processed += 1
-        event.callback()
+        if len(entry) == 4:
+            entry[2](*entry[3])
+        else:
+            entry[2].callback()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -95,16 +140,25 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        limit = -1 if max_events is None else max_events
+        pop_due = self.queue.pop_due
         try:
             while not self._stopped:
-                if max_events is not None and processed >= max_events:
+                if processed == limit:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                entry = pop_due(until)
+                if entry is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                time = entry[0]
+                if time < self.now:
+                    raise SimulationError(
+                        "event queue returned an event from the past")
+                self.now = time
+                self._events_processed += 1
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                else:
+                    entry[2].callback()
                 processed += 1
         finally:
             self._running = False

@@ -5,6 +5,12 @@ simulation — consensus replicas, clients, the rollback attacker.  It
 provides restartable timers (used by pacemakers and retry loops) that are
 automatically invalidated when the process crashes, so a rebooting node
 never receives a timer that belongs to its previous incarnation.
+
+Hot-path notes: a pacemaker re-arms its timer on every view and a reliable
+channel on every send, so :meth:`Timer.start` builds no label (it is
+precomputed once at construction), allocates no closure (the fire callback
+is a bound method), and returns its fired event handles to the simulator's
+free pool for reuse.
 """
 
 from __future__ import annotations
@@ -18,9 +24,12 @@ from repro.sim.loop import Simulator
 class Timer:
     """A cancellable, restartable one-shot timer bound to a process epoch."""
 
+    __slots__ = ("_process", "_label", "_callback", "_event", "_epoch")
+
     def __init__(self, process: "Process", name: str) -> None:
         self._process = process
-        self._name = name
+        self._label = f"{process.name}.{name}"
+        self._callback: Optional[Callable[[], None]] = None
         self._event: Optional[Event] = None
         self._epoch = -1
 
@@ -32,16 +41,21 @@ class Timer:
     def start(self, delay: float, callback: Callable[[], None]) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` ms from now."""
         self.cancel()
-        self._epoch = self._process.epoch
-        sim = self._process.sim
+        process = self._process
+        self._epoch = process.epoch
+        self._callback = callback
+        self._event = process.sim.schedule(delay, self._fire, self._label)
 
-        def fire() -> None:
-            self._event = None
-            # Ignore timers from a previous incarnation of the process.
-            if self._epoch == self._process.epoch and self._process.alive:
-                callback()
-
-        self._event = sim.schedule(delay, fire, label=f"{self._process.name}.{self._name}")
+    def _fire(self) -> None:
+        event = self._event
+        self._event = None
+        process = self._process
+        if event is not None:
+            # The handle just fired and nothing else holds it: recycle.
+            process.sim.release(event)
+        # Ignore timers from a previous incarnation of the process.
+        if self._epoch == process.epoch and process.alive:
+            self._callback()
 
     def cancel(self) -> None:
         """Disarm the timer if pending."""

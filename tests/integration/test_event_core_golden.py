@@ -1,0 +1,142 @@
+"""Golden-digest pins for the event-core refactor.
+
+The timer-wheel / pooled-event rewrite of :mod:`repro.sim.events` promises
+*bit-identical* runs: same committed blocks, same metrics, same simulated
+event counts, same trace digests.  These tests pin a representative slice
+of the figure sweeps (fig3 protocol/network points, a fig4 open-loop
+point, a fig5 counter point), a traced run, a lossy-fabric run, and two
+composed chaos+byz+lossy campaigns to digests captured on the pre-wheel
+heap implementation.  Any behavioural drift in the event core — ordering,
+RNG draw sequence, event counts — shows up here as a digest mismatch.
+
+Regenerate (only when an *intentional* behaviour change lands) with::
+
+    PYTHONPATH=src REPRO_REGEN_GOLDEN=1 python -m pytest \
+        tests/integration/test_event_core_golden.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.crypto.hashing import digest_of
+from repro.faults.chaos import ChaosSpec, run_chaos
+from repro.harness.runner import run_experiment
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "event_core_golden.json"
+_REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+# ----------------------------------------------------------------------
+# Pinned configurations.  Deliberately small-n / short-duration: the point
+# is sensitivity (every field of the result feeds the digest), not load.
+# ----------------------------------------------------------------------
+EXPERIMENTS: dict[str, dict] = {
+    # fig3-style closed-loop points across protocols and networks.
+    "fig3_achilles_lan": dict(protocol="achilles", f=1, network="LAN",
+                              batch_size=100, payload_size=64,
+                              duration_ms=400.0, warmup_ms=100.0, seed=3),
+    "fig3_achilles_wan": dict(protocol="achilles", f=2, network="WAN",
+                              batch_size=200, payload_size=256,
+                              duration_ms=1200.0, warmup_ms=300.0, seed=2),
+    "fig3_flexibft_lan": dict(protocol="flexibft", f=1, network="LAN",
+                              batch_size=100, payload_size=64,
+                              duration_ms=400.0, warmup_ms=100.0, seed=3),
+    "fig3_oneshot_r_lan": dict(protocol="oneshot-r", f=1, network="LAN",
+                               batch_size=100, payload_size=64,
+                               duration_ms=400.0, warmup_ms=100.0, seed=3),
+    # fig5-style persistent-counter point.
+    "fig5_damysus_r_c20": dict(protocol="damysus-r", f=1, network="LAN",
+                               batch_size=100, payload_size=64,
+                               counter_write_ms=20.0,
+                               duration_ms=400.0, warmup_ms=100.0, seed=3),
+    # fig4-style open-loop point.
+    "fig4_achilles_open_loop": dict(protocol="achilles", f=1, network="LAN",
+                                    batch_size=100, payload_size=64,
+                                    offered_load_tps=20000.0,
+                                    duration_ms=600.0, warmup_ms=150.0,
+                                    seed=5),
+    # Span tracing on: pins the obs digest and critical-path buckets too.
+    "traced_achilles_lan": dict(protocol="achilles", f=1, network="LAN",
+                                batch_size=100, payload_size=64,
+                                duration_ms=400.0, warmup_ms=100.0, seed=3,
+                                trace=True),
+    # Lossy fabric + reliable transport: pins retransmit/dedup counters.
+    "lossy_achilles_lan": dict(protocol="achilles", f=1, network="LAN",
+                               batch_size=100, payload_size=64,
+                               duration_ms=600.0, warmup_ms=150.0, seed=7,
+                               loss=0.05, dup=0.02, corrupt=0.01),
+}
+
+CHAOS: dict[str, tuple[ChaosSpec, int]] = {
+    # Crashes + rollbacks + partition + lossy fabric + a Byzantine voter:
+    # the full composed stack over the new event core.
+    "chaos_byz_lossy_achilles": (
+        ChaosSpec(protocol="achilles", f=2, duration_ms=2200.0,
+                  quiesce_ms=900.0, warmup_ms=150.0, crashes=3, rollbacks=2,
+                  partitions=1, loss=0.02, dup=0.01, corrupt=0.005,
+                  byz=("withhold-vote",)),
+        4,
+    ),
+    "chaos_damysus_r": (
+        ChaosSpec(protocol="damysus-r", f=1, duration_ms=2200.0,
+                  quiesce_ms=900.0, warmup_ms=150.0, crashes=2, rollbacks=2,
+                  partitions=0),
+        6,
+    ),
+}
+
+
+def _experiment_digest(config: dict) -> str:
+    result = run_experiment(**config)
+    payload = dataclasses.asdict(result)
+    # extras holds only scalars (ints/floats/strs) for every pinned config;
+    # JSON with sorted keys + repr floats is a canonical encoding of it.
+    return digest_of("event-core-golden",
+                     json.dumps(payload, sort_keys=True, default=str))
+
+
+def compute_goldens(names: list[str] | None = None) -> dict[str, str]:
+    """Digests for every pinned run (or a named subset)."""
+    out: dict[str, str] = {}
+    for name, config in EXPERIMENTS.items():
+        if names is None or name in names:
+            out[name] = _experiment_digest(config)
+    for name, (spec, seed) in CHAOS.items():
+        if names is None or name in names:
+            out[name] = run_chaos(spec, seed).digest
+    return out
+
+
+def _load_goldens() -> dict[str, str]:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(list(EXPERIMENTS) + list(CHAOS)))
+def test_event_core_digest_matches_golden(name: str) -> None:
+    if _REGEN:
+        pytest.skip("regenerating goldens via main()")
+    golden = _load_goldens()
+    assert name in golden, f"no golden recorded for {name}; regenerate"
+    actual = compute_goldens([name])[name]
+    assert actual == golden[name], (
+        f"{name}: run digest drifted from the pre-refactor golden — the "
+        f"event core is no longer bit-identical for this configuration"
+    )
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    goldens = compute_goldens()
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} goldens to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -215,3 +215,101 @@ class TestSimulator:
         sim.schedule(3.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
         sim.run()
         assert seen == [3.0]
+
+
+class TestTimerWheel:
+    """Behavior specific to the wheel-backed queue: overflow, rebasing,
+    the handle-free fast path, and event pooling."""
+
+    def test_far_future_events_use_overflow_and_stay_ordered(self):
+        # Horizon is wheel_slots * granularity (1024 ms by default); these
+        # spread across wheel and overflow.
+        q = EventQueue()
+        fired = []
+        for t in (5000.0, 0.25, 1500.0, 900.0, 1024.5, 2.0):
+            q.push(t, lambda t=t: fired.append(t))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == sorted(fired)
+        assert len(fired) == 6
+
+    def test_rebase_after_wheel_drains(self):
+        # Once the wheel empties, the base jumps to the earliest overflow
+        # time and near-horizon entries redistribute; pushes after the
+        # rebase must still interleave correctly.
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append(1.0))
+        q.push(3000.0, lambda: fired.append(3000.0))
+        q.push(3500.0, lambda: fired.append(3500.0))
+        e = q.pop()
+        e.callback()
+        q.push(3200.0, lambda: fired.append(3200.0))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert fired == [1.0, 3000.0, 3200.0, 3500.0]
+
+    def test_fast_and_slow_paths_share_one_ordering(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("slow@2"))
+        sim.schedule_fast(2.0, fired.append, "fast@2")
+        sim.schedule_fast(1.0, fired.append, "fast@1")
+        sim.schedule(1.0, lambda: fired.append("slow@1"))
+        sim.run()
+        # Same time ⇒ scheduling order (the shared seq counter), across
+        # both entry shapes.
+        assert fired == ["fast@1", "slow@1", "slow@2", "fast@2"]
+
+    def test_schedule_fast_args_ride_along(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_fast(1.0, lambda a, b: seen.append((a, b)), "x", 7)
+        sim.run()
+        assert seen == [("x", 7)]
+
+    def test_schedule_fast_rejects_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_fast(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at_fast(1.0, lambda: None)
+
+    def test_fired_event_is_recycled_from_pool(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        assert q.pop() is first
+        q.release(first)
+        second = q.push(2.0, lambda: None)
+        assert second is first  # recycled object
+        assert not second.fired and not second.cancelled
+        assert second.time == 2.0
+
+    def test_cancelled_event_is_never_pooled(self):
+        # A cancelled event may still sit in a wheel bucket (lazy
+        # deletion); recycling it would resurrect the stale entry.
+        q = EventQueue()
+        victim = q.push(1.0, lambda: None)
+        victim.cancel()
+        q.note_cancelled()
+        q.release(victim)
+        fresh = q.push(2.0, lambda: None)
+        assert fresh is not victim
+
+    def test_chain_across_many_horizons(self):
+        # Each event schedules the next one 700 ms out — the cursor wraps
+        # the wheel and rebases repeatedly.
+        sim = Simulator()
+        times = []
+
+        def hop():
+            times.append(sim.now)
+            if len(times) < 10:
+                sim.schedule_fast(700.0, hop)
+
+        sim.schedule_fast(0.0, hop)
+        sim.run()
+        assert times == [i * 700.0 for i in range(10)]
+        assert sim.now == 6300.0
