@@ -7,7 +7,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-quick bench perf scale scale-smoke chaos chaos-smoke \
-	loss-smoke byz-smoke trace-smoke ci
+	loss-smoke byz-smoke snapshot-smoke trace-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -38,6 +38,20 @@ loss-smoke:
 byz-smoke:
 	$(PYTHON) -m repro chaos --protocols achilles minbft \
 		--byz withhold-vote,garbage --seeds 2 --duration 2500 --quiesce 1000
+
+# Snapshot state-transfer smoke (< 30 s): (1) replicated-KV campaigns
+# with compaction where every rebooted replica must catch up through a
+# certificate-verified snapshot, (2) the stale-snapshot rollback attack
+# against the trust-sealed baseline, which MUST trip the
+# sealed-state-freshness invariant on every seed.
+snapshot-smoke:
+	$(PYTHON) -m repro chaos --protocols achilles damysus --seeds 2 \
+		--duration 2500 --quiesce 1000 --crashes 2 --rollbacks 0 \
+		--partitions 0 --snapshot-interval 5
+	$(PYTHON) -m repro chaos --protocols achilles --seeds 2 \
+		--duration 2500 --quiesce 1000 --crashes 0 --rollbacks 0 \
+		--partitions 0 --snapshot-interval 5 --byz stale-snapshot \
+		--snapshot-trust-sealed --byz-expect sealed-state-freshness
 
 # Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
 # Perfetto traces to traces/, and fails unless the walk attributes >= 95%

@@ -10,7 +10,12 @@ chain rooted at a hard-coded genesis block G; heights are distances to G.
 from repro.chain.transaction import Transaction, tx_wire_size
 from repro.chain.block import Block, genesis_block, create_leaf
 from repro.chain.store import BlockStore
-from repro.chain.execution import KVStateMachine, execute_transactions
+from repro.chain.execution import (
+    KVStateMachine,
+    compute_state_root,
+    execute_transactions,
+)
+from repro.chain.snapshot import Snapshot, build_snapshot
 
 __all__ = [
     "Transaction",
@@ -20,5 +25,8 @@ __all__ = [
     "create_leaf",
     "BlockStore",
     "KVStateMachine",
+    "compute_state_root",
     "execute_transactions",
+    "Snapshot",
+    "build_snapshot",
 ]

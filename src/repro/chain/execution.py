@@ -7,6 +7,21 @@ update the store; anything else is folded into the state digest as an
 opaque write.  ``op`` is the digest of (parent hash, state root after the
 batch), so equal prefixes always yield equal results and a forged result is
 detectable.
+
+The state root has two jobs that pull in opposite directions:
+
+* it must commit to the **full execution history** (two different orders
+  of the same writes must yield different roots — the root is what makes
+  forged execution results detectable), and
+* it must be **recomputable from a snapshot** (a replica installing a
+  certified snapshot must be able to check the carried state against the
+  certificate without replaying pruned history).
+
+So the root binds both: a rolling per-effect history digest *and* a
+digest of the materialized items, plus the applied count.  A snapshot
+carries ``(items, history digest, applied)``; the receiver recomputes
+:func:`compute_state_root` over them and compares against the
+certificate-signed root — tampering with any of the three is caught.
 """
 
 from __future__ import annotations
@@ -18,22 +33,47 @@ from repro.chain.transaction import Transaction
 from repro.crypto.hashing import digest_of
 
 
+def compute_state_root(items: "tuple[tuple[str, str], ...]", history: str,
+                       applied: int) -> str:
+    """The state root over a materialized snapshot of machine state.
+
+    ``items`` must be sorted by key (the canonical snapshot order);
+    ``history`` is the rolling per-effect digest; ``applied`` the number
+    of transactions executed.  Pure function: snapshot validation uses it
+    without constructing a machine.
+    """
+    return digest_of("kv-root", history, items, applied)
+
+
 class KVStateMachine:
-    """Replayable key-value state machine with a rolling state root."""
+    """Replayable key-value state machine with a verifiable state root."""
 
     def __init__(self) -> None:
         self._state: dict[str, str] = {}
-        self._root: str = digest_of("kv-root")
+        # Rolling digest over every effect ever applied, in order — the
+        # history-sensitive half of the root.
+        self._history: str = digest_of("kv-history")
         self.applied: int = 0
+        #: Height of the last committed block whose batch was applied
+        #: (0 = genesis/empty).  Maintained by the replica layer.
+        self.state_height: int = 0
+        self._root: str | None = None
 
     @property
     def state_root(self) -> str:
-        """Digest committing to the full current state history."""
+        """Digest committing to the execution history *and* the
+        materialized state (cached; recomputed lazily after writes)."""
+        if self._root is None:
+            self._root = compute_state_root(
+                tuple(sorted(self._state.items())), self._history, self.applied)
         return self._root
 
     def get(self, key: str) -> str | None:
         """Read a key (for examples/tests)."""
         return self._state.get(key)
+
+    def __len__(self) -> int:
+        return len(self._state)
 
     def apply(self, tx: Transaction) -> None:
         """Apply one transaction."""
@@ -43,14 +83,38 @@ class KVStateMachine:
             effect = ("SET", parts[1], parts[2])
         else:
             effect = ("OPAQUE", str(tx.key), tx.payload)
-        self._root = digest_of(self._root, effect)
+        self._history = digest_of(self._history, effect)
         self.applied += 1
+        self._root = None
 
     def apply_batch(self, txs: Iterable[Transaction]) -> str:
         """Apply a batch; returns the resulting state root."""
         for tx in txs:
             self.apply(tx)
-        return self._root
+        return self.state_root
+
+    # ------------------------------------------------------------------
+    # Snapshots (see repro.chain.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> "tuple[tuple[tuple[str, str], ...], str, int]":
+        """The machine's full state as snapshot-portable data:
+        ``(sorted items, history digest, applied count)``."""
+        return (tuple(sorted(self._state.items())), self._history, self.applied)
+
+    def install_snapshot(self, items: "tuple[tuple[str, str], ...]",
+                         history: str, applied: int, height: int) -> str:
+        """Replace the machine's state with snapshot-carried data.
+
+        The caller has already validated the data against a certified
+        root (:meth:`repro.chain.snapshot.Snapshot.validate`).  Returns
+        the resulting state root.
+        """
+        self._state = dict(items)
+        self._history = history
+        self.applied = applied
+        self.state_height = height
+        self._root = None
+        return self.state_root
 
 
 def execute_transactions(txs: Sequence[Transaction], parent_hash: str) -> str:
@@ -76,4 +140,4 @@ def execute_transactions(txs: Sequence[Transaction], parent_hash: str) -> str:
     return root
 
 
-__all__ = ["KVStateMachine", "execute_transactions"]
+__all__ = ["KVStateMachine", "compute_state_root", "execute_transactions"]

@@ -1,0 +1,95 @@
+"""Certified application snapshots (rollback-resistant state transfer).
+
+A :class:`Snapshot` bundles everything a replica needs to adopt executed
+state without replaying history:
+
+* the checkpoint **block** (the new committed base),
+* the **materialized KV state** at that block — sorted items, the rolling
+  history digest, and the applied count (see
+  :func:`repro.chain.execution.compute_state_root`),
+* the **state root** those three recompute to, and
+* the f+1 :class:`~repro.chain.checkpoint.CheckpointCertificate` whose
+  signed statement covers (height, block hash, state root).
+
+Authority flows entirely from the certificate: a snapshot fetched from an
+untrusted peer — or unsealed from untrusted disk — is trusted iff
+:meth:`Snapshot.validate` passes, i.e. the carried state recomputes to
+the certificate-signed root.  What certificates *cannot* provide is
+freshness: a stale snapshot validates perfectly (it was certified once).
+Freshness is the recovery layer's problem — see
+``docs/STATE_TRANSFER.md`` and the ``sealed-state-freshness`` invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.chain.checkpoint import CheckpointCertificate
+from repro.chain.execution import compute_state_root
+from repro.crypto.keys import Keyring
+from repro.net.message import HASH_BYTES
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One certified snapshot of executed application state."""
+
+    block: Block
+    #: Materialized KV state, sorted by key (canonical snapshot order).
+    items: tuple
+    #: Rolling per-effect history digest at the snapshot point.
+    history: str
+    #: Transactions executed to reach this state.
+    applied: int
+    #: The root ``(items, history, applied)`` recompute to.
+    state_root: str
+    certificate: CheckpointCertificate
+
+    @property
+    def height(self) -> int:
+        """The snapshot's chain height (== the certified block's)."""
+        return self.block.height
+
+    def validate(self, keyring: Keyring, threshold: int) -> bool:
+        """Full snapshot verification: certificate ↔ block ↔ state.
+
+        Checks that the certificate (a) binds this exact block and state
+        root, (b) carries ≥ ``threshold`` valid distinct signatures, and
+        (c) that the carried state actually recomputes to the signed root
+        — tampering with items, history, or the applied count breaks (c).
+        """
+        cert = self.certificate
+        if cert.height != self.block.height or \
+                cert.block_hash != self.block.hash:
+            return False
+        if not cert.state_root or cert.state_root != self.state_root:
+            return False
+        if compute_state_root(self.items, self.history, self.applied) \
+                != self.state_root:
+            return False
+        return cert.validate(keyring, threshold)
+
+    def wire_size(self) -> int:
+        """Serialized size (items dominate for non-trivial stores)."""
+        items_bytes = sum(
+            len(k.encode()) + len(v.encode()) + 8 for k, v in self.items)
+        return (self.block.wire_size() + items_bytes + HASH_BYTES * 2 + 8
+                + self.certificate.wire_size())
+
+
+def build_snapshot(block: Block, machine, certificate: CheckpointCertificate) -> Snapshot:
+    """Capture ``machine``'s current state as a snapshot of ``block``.
+
+    The caller guarantees the machine's state is exactly the execution
+    result at ``block`` (the replica layer captures state at commit time
+    of each checkpoint-height block).
+    """
+    items, history, applied = machine.snapshot_state()
+    return Snapshot(
+        block=block, items=items, history=history, applied=applied,
+        state_root=machine.state_root, certificate=certificate,
+    )
+
+
+__all__ = ["Snapshot", "build_snapshot"]

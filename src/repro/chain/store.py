@@ -26,13 +26,33 @@ class BlockStore:
         #: deduplication); off by default to keep large runs lean.
         self.track_txs = False
         self._committed_tx_keys: set[tuple[int, int]] = set()
+        # Provisional blocks: accepted before their parent (orphans) or
+        # chained onto a provisional ancestor.  ``_orphans`` maps parent
+        # hash -> children awaiting height validation; ``_provisional``
+        # marks every block whose height is not yet anchored to a
+        # validated chain.
+        self._orphans: dict[str, list[str]] = {}
+        self._provisional: set[str] = set()
+        #: Orphans evicted because their claimed height disagreed with the
+        #: parent that eventually arrived (observability for tests/chaos).
+        self.orphans_rejected = 0
 
     # ------------------------------------------------------------------
     # Storage
     # ------------------------------------------------------------------
     def add(self, block: Block) -> None:
-        """Insert a block (idempotent).  Height consistency is enforced when
-        the parent is known."""
+        """Insert a block (idempotent).
+
+        Height consistency against the parent is enforced immediately when
+        the parent is known, and *retroactively* when the parent arrives
+        later: blocks whose height is not yet anchored to a validated
+        chain stay *provisional* (tracked by parent hash), and when the
+        missing ancestor materializes, any provisional descendant whose
+        claimed height disagrees with it is evicted — the whole subtree,
+        since its heights were derived from the bogus one.  The late path
+        evicts rather than raises: the inserter of the honest parent is
+        not the author of the bad orphan.
+        """
         if block.hash in self._blocks:
             return
         parent = self._blocks.get(block.parent_hash)
@@ -41,6 +61,46 @@ class BlockStore:
                 f"block at height {block.height} extends parent at height {parent.height}"
             )
         self._blocks[block.hash] = block
+        if not block.is_genesis and \
+                (parent is None or parent.hash in self._provisional):
+            # Unknown parent, or a parent whose own height is still
+            # unvalidated: this block's height is derived, not anchored.
+            self._orphans.setdefault(block.parent_hash, []).append(block.hash)
+            self._provisional.add(block.hash)
+        elif parent is not None:
+            self._validate_orphans_of(block)
+
+    def _validate_orphans_of(self, parent: Block) -> None:
+        """Re-check provisional blocks waiting on ``parent`` (which is now
+        materialized and height-validated): evict any subtree whose height
+        does not chain from it; anchor — and recurse into — the rest."""
+        stack = [parent]
+        while stack:
+            anchor = stack.pop()
+            waiting = self._orphans.pop(anchor.hash, None)
+            if not waiting:
+                continue
+            for orphan_hash in waiting:
+                orphan = self._blocks.get(orphan_hash)
+                if orphan is None:
+                    self._provisional.discard(orphan_hash)
+                    continue  # already pruned by compaction
+                if orphan.height != anchor.height + 1:
+                    self._evict_orphan_branch(orphan_hash)
+                else:
+                    self._provisional.discard(orphan_hash)
+                    stack.append(orphan)
+
+    def _evict_orphan_branch(self, block_hash: str) -> None:
+        stack = [block_hash]
+        while stack:
+            current = stack.pop()
+            if current in self._committed_hashes:
+                continue  # never evict committed state
+            self._blocks.pop(current, None)
+            self._provisional.discard(current)
+            self.orphans_rejected += 1
+            stack.extend(self._orphans.pop(current, ()))
 
     def get(self, block_hash: str) -> Optional[Block]:
         """Fetch a block by hash, or ``None`` if unknown."""
@@ -199,6 +259,7 @@ class BlockStore:
         self._committed_hashes.add(block.hash)
         if self.track_txs:
             self._committed_tx_keys.update(tx.key for tx in block.txs)
+        self._validate_orphans_of(block)
 
 
 __all__ = ["BlockStore"]

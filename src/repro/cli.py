@@ -232,6 +232,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             reorder=args.reorder, timeout_jitter=args.timeout_jitter,
             byz=byz, byz_nodes=args.byz_nodes if byz else 0,
             expect_violations=expect,
+            snapshot_interval=args.snapshot_interval,
+            snapshot_retain=args.snapshot_retain,
+            snapshot_trust_sealed=args.snapshot_trust_sealed,
             seed=seed,
         )
         for protocol in protocols
@@ -257,6 +260,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if byz:
             row += [sum(result.extras.get("byz_attempts", {}).values()),
                     sum(result.extras.get("byz_denials", {}).values())]
+        if args.snapshot_interval:
+            row += [result.extras.get("snap_sealed", 0),
+                    result.extras.get("snap_restored", 0),
+                    result.extras.get("snap_installed", 0),
+                    result.extras.get("snap_stale_runs", 0)]
         row += [len(result.violations), result.digest[:12]]
         rows.append(row)
         if result.violations:
@@ -272,10 +280,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         headers += ["lost", "retrans", "dedup", "rejected"]
     if byz:
         headers += ["byz-att", "byz-den"]
+    if args.snapshot_interval:
+        headers += ["sealed", "restored", "instald", "stale"]
     headers += ["violations", "digest"]
     fabric = f", loss={args.loss:g} dup={args.dup:g} " \
              f"reorder={args.reorder:g} corrupt={args.corrupt:g}" if lossy else ""
     byzdesc = f", byz={','.join(byz)}×{args.byz_nodes}" if byz else ""
+    if args.snapshot_interval:
+        byzdesc += f", snapshots every {args.snapshot_interval} blocks" + \
+            (" (trust-sealed)" if args.snapshot_trust_sealed else "")
     print(format_table(
         headers, rows,
         title=f"chaos — {len(protocols)} protocol(s) × {len(seeds)} seed(s), "
@@ -296,6 +309,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             byzrepro = f"--byz {','.join(byz)} --byz-nodes {args.byz_nodes} "
             if expect:
                 byzrepro += f"--byz-expect {','.join(expect)} "
+        if args.snapshot_interval:
+            byzrepro += f"--snapshot-interval {args.snapshot_interval} " \
+                        f"--snapshot-retain {args.snapshot_retain} "
+            if args.snapshot_trust_sealed:
+                byzrepro += "--snapshot-trust-sealed "
         print("  reproduce with:\n"
               f"    python -m repro chaos --protocols {result.protocol} "
               f"--f {result.f} --network {result.network} "
@@ -342,6 +360,9 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
         byz=byz, byz_nodes=args.byz_nodes if byz else 0,
         expect_violations=tuple(
             s for s in (args.byz_expect or "").split(",") if s),
+        snapshot_interval=args.snapshot_interval,
+        snapshot_retain=args.snapshot_retain,
+        snapshot_trust_sealed=args.snapshot_trust_sealed,
     )
     try:
         run_chaos(spec, failure.seed, trace_path=str(path))
@@ -502,6 +523,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="negative control: these invariants MUST trip "
                               "(attacking an unprotected baseline); any "
                               "other violation still fails the run")
+    p_chaos.add_argument("--snapshot-interval", type=int, default=None,
+                         metavar="BLOCKS",
+                         help="execute committed blocks on a replicated KV "
+                              "store and seal a certified snapshot every N "
+                              "blocks (enables log compaction + state "
+                              "transfer; off by default)")
+    p_chaos.add_argument("--snapshot-retain", type=int, default=12,
+                         metavar="BLOCKS",
+                         help="committed blocks kept below a checkpoint "
+                              "after compaction (default 12)")
+    p_chaos.add_argument("--snapshot-trust-sealed", action="store_true",
+                         help="baseline mode: trust locally unsealed "
+                              "snapshots without replaying the committed "
+                              "tail (vulnerable to rollback; pair with "
+                              "--byz stale-snapshot as a negative control)")
     p_chaos.add_argument("--timeout-jitter", type=float, default=0.0,
                          help="pacemaker timeout jitter fraction "
                               "(de-synchronizes view-change storms)")

@@ -103,6 +103,14 @@ class OpenLoopGenerator:
     Transactions are created at the client, then arrive at the mempool one
     client→replica hop later.  ``rate_tps`` is in transactions per second;
     simulation time is milliseconds.
+
+    ``kv_keys > 0`` switches to KV-shaped payloads — round-robin
+    ``"SET k<i> v<seq>"`` writes over that many distinct keys, so the
+    replicated state machine materializes real state (the snapshot
+    campaigns need non-opaque writes).  The declared ``payload_size``
+    still governs the wire size (see ``Transaction.wire_size``), and the
+    arrival process draws identically, so switching payload shape never
+    perturbs timing.
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class OpenLoopGenerator:
         payload_size: int = 256,
         client_one_way_ms: float = 0.05,
         client_count: int = 16,
+        kv_keys: int = 0,
     ) -> None:
         self.sim = sim
         self.source = source
@@ -120,6 +129,7 @@ class OpenLoopGenerator:
         self.payload_size = payload_size
         self.client_one_way_ms = client_one_way_ms
         self.client_count = client_count
+        self.kv_keys = kv_keys
         self._rng = sim.fork_rng("open-loop")
         self._next_id = 0
         self._stopped = False
@@ -142,10 +152,12 @@ class OpenLoopGenerator:
         if self._stopped:
             return
         self._next_id += 1
+        payload = f"SET k{self._next_id % self.kv_keys} v{self._next_id}" \
+            if self.kv_keys > 0 else ""
         tx = Transaction(
             client_id=self._next_id % self.client_count,
             tx_id=self._next_id,
-            payload="",
+            payload=payload,
             payload_size=self.payload_size,
             created_at=self.sim.now,
         )

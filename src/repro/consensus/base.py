@@ -119,8 +119,37 @@ class ReplicaBase(Process):
 
             self.state_machine = KVStateMachine()
         # Checkpointing (certified log compaction + state transfer).
-        self._checkpoint_votes: dict[tuple[int, str], dict[int, object]] = {}
+        self._checkpoint_votes: dict[tuple[int, str, str], dict[int, object]] = {}
         self.checkpoint_certs: dict[int, object] = {}
+        # Certified application snapshots (docs/STATE_TRANSFER.md): the
+        # vault is a per-node enclave sealing each snapshot to untrusted
+        # disk; `latest_snapshot` is what SNAP-REQ peers are served.
+        self.snapshot_vault = None
+        self.latest_snapshot = None
+        #: Height of the newest snapshot this incarnation sealed or
+        #: restored — what the freshness monitor compares state against.
+        self.sealed_snapshot_height = 0
+        #: Set while a rebooted replica has discarded possibly-stale state
+        #: and is waiting for a certified snapshot from peers.
+        self.snapshot_sync_pending = False
+        #: Rollback attacker the next reboot's snapshot unseal goes
+        #: through (planted by the stale-snapshot Byzantine strategy).
+        self._snapshot_attacker = None
+        # height -> (block, items, history, applied, root): state captured
+        # at commit time of checkpoint-height blocks, awaiting its cert.
+        self._pending_snapshot_state: dict[int, tuple] = {}
+        self.snapshot_counters = {
+            "sealed": 0, "restored": 0, "installed": 0, "served": 0,
+            "rejected_stale": 0, "rejected_invalid": 0,
+            "replayed_blocks": 0, "stale_runs": 0,
+        }
+        if config.snapshots:
+            from repro.tee.enclave import Enclave
+
+            self.snapshot_vault = Enclave(
+                identity=f"node{node_id}/app-state",
+                profile=config.enclave, crypto=config.crypto)
+            self._snap_sync_timer = self.timer("snapshot-sync")
 
     # ------------------------------------------------------------------
     # Leader schedule
@@ -363,8 +392,18 @@ class ReplicaBase(Process):
             if obs is not None:
                 obs.block_committed(b.hash, self.node_id, now)
             self.charge(self.config.costs.exec_cost(len(b.txs)))
-            if self.state_machine is not None:
-                self.state_machine.apply_batch(b.txs)
+            sm = self.state_machine
+            if sm is not None and sm.state_height == b.height - 1:
+                # Application of a batch is gated on contiguity: after a
+                # checkpoint install (height jump) or a reboot, executed
+                # state advances only once the gap has been bridged by a
+                # snapshot/replay — never by executing on a wrong base.
+                sm.apply_batch(b.txs)
+                sm.state_height = b.height
+                if self.snapshot_vault is not None:
+                    snap_interval = self.config.checkpoint_interval
+                    if snap_interval and b.height % snap_interval == 0:
+                        self._capture_pending_snapshot(b, sm)
             if trace_record is not None:
                 trace_record(now, "commit", self.node_id,
                              block=b.hash, view=b.view, height=b.height)
@@ -403,9 +442,14 @@ class ReplicaBase(Process):
         from repro.chain.checkpoint import make_checkpoint_vote
         from repro.consensus.messages import CheckpointVoteMsg
 
+        state_root = ""
+        if self.snapshot_vault is not None:
+            pending = self._pending_snapshot_state.get(block.height)
+            if pending is not None and pending[0].hash == block.hash:
+                state_root = pending[4]
         self.charge_sign(1)
         vote = make_checkpoint_vote(self.keypair.private, block.height,
-                                    block.hash)
+                                    block.hash, state_root)
         self.broadcast(CheckpointVoteMsg(vote=vote))
         self._collect_checkpoint_vote(vote)
 
@@ -421,7 +465,7 @@ class ReplicaBase(Process):
 
         if vote.height in self.checkpoint_certs:
             return
-        key = (vote.height, vote.block_hash)
+        key = (vote.height, vote.block_hash, vote.state_root)
         bucket = self._checkpoint_votes.setdefault(key, {})
         bucket[vote.signature.signer] = vote
         threshold = self.config.f + 1
@@ -429,6 +473,7 @@ class ReplicaBase(Process):
             return
         certificate = combine_checkpoint_votes(list(bucket.values()), threshold)
         self.checkpoint_certs[vote.height] = certificate
+        self._seal_snapshot_if_certified(certificate)
         for stale in [k for k in self._checkpoint_votes if k[0] <= vote.height]:
             del self._checkpoint_votes[stale]
         if self.store.is_committed(vote.block_hash):
@@ -456,13 +501,23 @@ class ReplicaBase(Process):
             return
         self.store.install_checkpoint(block)
         self.checkpoint_certs.setdefault(certificate.height, certificate)
+        notify = getattr(self.listener, "on_state_transfer", None)
+        if notify is not None:
+            notify(self.node_id, block, self.sim.now)
         if self.state_machine is not None:
-            # Executed state cannot be replayed across the gap; real
-            # systems ship a state snapshot with the checkpoint.  We mark
-            # the machine stale by resetting it (documented limitation).
+            # Executed state cannot be replayed across the gap.  With
+            # snapshots on, a SnapshotReply carries the state — request
+            # one; the bare-checkpoint fallback restarts execution from an
+            # empty base (documented limitation of checkpoint-only
+            # deployments, unchanged behavior).
             from repro.chain.execution import KVStateMachine
 
             self.state_machine = KVStateMachine()
+            if self.snapshot_vault is not None:
+                self.snapshot_sync_pending = True
+                self._request_snapshot_sync()
+            else:
+                self.state_machine.state_height = block.height
         self.sim.trace.record(self.sim.now, "checkpoint_installed",
                               self.node_id, height=block.height)
         self._retry_ancestry_waiters()
@@ -474,6 +529,226 @@ class ReplicaBase(Process):
         for waiters in pending.values():
             for waiting_block, action in waiters:
                 self.with_full_ancestry(waiting_block, action)
+
+    # ------------------------------------------------------------------
+    # Certified application snapshots (docs/STATE_TRANSFER.md)
+    # ------------------------------------------------------------------
+    def _capture_pending_snapshot(self, block: Block, machine) -> None:
+        """Stash executed state at a checkpoint-height block, so the f+1
+        certificate (which arrives asynchronously) can be bound to the
+        state exactly as it was when that block committed."""
+        items, history, applied = machine.snapshot_state()
+        self._pending_snapshot_state[block.height] = (
+            block, items, history, applied, machine.state_root)
+        while len(self._pending_snapshot_state) > 4:
+            del self._pending_snapshot_state[min(self._pending_snapshot_state)]
+
+    def _seal_snapshot_if_certified(self, certificate) -> None:
+        """On a root-carrying checkpoint certificate, assemble the snapshot
+        from the stashed state and seal it to the vault — before compaction
+        gets a chance to prune the certified block."""
+        if self.snapshot_vault is None or not certificate.state_root:
+            return
+        pending = self._pending_snapshot_state.get(certificate.height)
+        if pending is None:
+            return
+        block, items, history, applied, root = pending
+        if root != certificate.state_root or \
+                block.hash != certificate.block_hash:
+            return
+        from repro.chain.snapshot import Snapshot
+
+        snapshot = Snapshot(block=block, items=items, history=history,
+                            applied=applied, state_root=root,
+                            certificate=certificate)
+        self.latest_snapshot = snapshot
+        self.sealed_snapshot_height = snapshot.height
+        self.snapshot_vault.seal_state("snapshot", snapshot)
+        self.charge_enclave(self.snapshot_vault)
+        self.snapshot_counters["sealed"] += 1
+        for height in [h for h in self._pending_snapshot_state
+                       if h <= certificate.height]:
+            del self._pending_snapshot_state[height]
+        self.sim.trace.record(self.sim.now, "snapshot_sealed", self.node_id,
+                              height=snapshot.height)
+
+    def _rebuild_app_state(self) -> None:
+        """Reboot path: reconstruct the executed state machine.
+
+        Volatile executed state dies with the host; the restore order is
+
+        1. unseal the latest sealed snapshot — through the planted rollback
+           attacker if the Byzantine engine armed one — and validate its
+           certificate, which proves authenticity but *not* freshness;
+        2. replay the retained committed tail on top of it;
+        3. if the retained log cannot bridge the gap between the restored
+           snapshot and the committed tip, the defended path discards the
+           state and pulls a certified fresh snapshot from peers
+           (SNAP-REQ), while the ``snapshot_trust_sealed`` baseline runs
+           on the possibly-stale state — which is exactly what the
+           ``sealed-state-freshness`` invariant catches.
+        """
+        from repro.chain.execution import KVStateMachine
+        from repro.errors import SealingError
+
+        self.state_machine = KVStateMachine()
+        self._pending_snapshot_state.clear()
+        self.snapshot_sync_pending = False
+        sm = self.state_machine
+        vault = self.snapshot_vault
+        snapshot = None
+        if vault is not None:
+            self.latest_snapshot = None
+            self.sealed_snapshot_height = 0
+            vault.reboot()
+            self.charge(vault.restart(0))
+            attacker, self._snapshot_attacker = self._snapshot_attacker, None
+            try:
+                if attacker is not None:
+                    payload = attacker.unseal_for(vault, "snapshot")
+                else:
+                    payload = vault.unseal_state("snapshot")
+            except SealingError:
+                payload = None
+            self.charge_enclave(vault)
+            if payload is not None:
+                self.charge_verify(len(payload.certificate.signatures))
+                if payload.validate(self.keyring, self.config.f + 1):
+                    snapshot = payload
+        if snapshot is not None:
+            sm.install_snapshot(snapshot.items, snapshot.history,
+                                snapshot.applied, snapshot.height)
+            self.latest_snapshot = snapshot
+            self.sealed_snapshot_height = snapshot.height
+            self.snapshot_counters["restored"] += 1
+        if self._replay_committed_tail(sm) is not None:
+            return
+        # Gap: the retained log does not connect to the restored state.
+        if vault is not None and not self.config.snapshot_trust_sealed:
+            # Defended: refuse to serve from possibly-stale state; hold an
+            # empty machine until a certified fresh snapshot arrives.
+            self.state_machine = KVStateMachine()
+            self.latest_snapshot = None
+            self.snapshot_sync_pending = True
+            self._request_snapshot_sync()
+        else:
+            # Undefended baseline (or checkpoint-only deployment): keep
+            # running on whatever state came back from disk.
+            self.snapshot_counters["stale_runs"] += 1
+            self.sim.trace.record(self.sim.now, "stale_state_run",
+                                  self.node_id, height=sm.state_height)
+
+    def _replay_committed_tail(self, machine) -> Optional[int]:
+        """Replay committed blocks above ``machine.state_height`` in order.
+
+        Returns the number of blocks replayed, or ``None`` when the
+        retained log has been compacted past the machine's state — a gap
+        no replay can bridge.
+        """
+        tip = self.store.committed_tip.height
+        start = machine.state_height
+        if start >= tip:
+            return 0
+        expected = start + 1
+        replayed = 0
+        for b in self.store.committed_chain():
+            if b.height <= start:
+                continue
+            if b.height != expected:
+                return None
+            self.charge(self.config.costs.exec_cost(len(b.txs)))
+            machine.apply_batch(b.txs)
+            machine.state_height = b.height
+            expected += 1
+            replayed += 1
+        if machine.state_height < tip:
+            return None
+        self.snapshot_counters["replayed_blocks"] += replayed
+        return replayed
+
+    def _request_snapshot_sync(self) -> None:
+        """Broadcast ``SNAP-REQ`` and retry until a fresh snapshot lands."""
+        if not self.snapshot_sync_pending or not self.alive:
+            return
+        from repro.consensus.messages import SnapshotRequest
+
+        height = self.state_machine.state_height \
+            if self.state_machine is not None else 0
+        self.broadcast(SnapshotRequest(requester=self.node_id,
+                                       min_height=height))
+        self._snap_sync_timer.start(
+            self.config.recovery_retry_ms * 4,
+            lambda: self.run_work(self._request_snapshot_sync))
+
+    def on_SnapshotRequest(self, msg, src: int) -> None:
+        """Serve the latest certified snapshot (plus the committed tail
+        above it) to a recovering or lagging peer."""
+        snap = self.latest_snapshot
+        if snap is None or snap.height <= msg.min_height:
+            return
+        status = getattr(self, "status", None)
+        if status is not None and \
+                getattr(status, "name", "RUNNING") != "RUNNING":
+            return
+        from repro.consensus.messages import SnapshotReply
+
+        deltas = tuple(b for b in self.store.committed_chain()
+                       if b.height > snap.height)
+        self.snapshot_counters["served"] += 1
+        self.send_to(src, SnapshotReply(snapshot=snap, blocks=deltas))
+
+    def on_SnapshotReply(self, msg, src: int) -> None:
+        """Adopt a certified snapshot: rollback-resistant state transfer.
+
+        Freshness comes from the cluster (an honest peer serves its latest
+        certified snapshot, necessarily at least as new as anything this
+        node ever sealed); authenticity comes from the f+1 certificate the
+        carried state must recompute against.  Stale or tampered replies
+        are counted and dropped.
+        """
+        if self.snapshot_vault is None or self.state_machine is None:
+            return
+        snap = msg.snapshot
+        sm = self.state_machine
+        if snap.height <= sm.state_height:
+            self.snapshot_counters["rejected_stale"] += 1
+            return
+        self.charge_verify(len(snap.certificate.signatures))
+        if not snap.validate(self.keyring, self.config.f + 1):
+            self.snapshot_counters["rejected_invalid"] += 1
+            return
+        if not self.store.is_committed(snap.block.hash):
+            if snap.height <= self.store.committed_tip.height:
+                # A snapshot below our tip yet off our committed chain
+                # would be a fork; certificates make this unreachable —
+                # drop defensively.
+                self.snapshot_counters["rejected_invalid"] += 1
+                return
+            self.store.install_checkpoint(snap.block)
+            self.checkpoint_certs.setdefault(snap.certificate.height,
+                                             snap.certificate)
+            notify = getattr(self.listener, "on_state_transfer", None)
+            if notify is not None:
+                notify(self.node_id, snap.block, self.sim.now)
+        sm.install_snapshot(snap.items, snap.history, snap.applied,
+                            snap.height)
+        self.snapshot_counters["installed"] += 1
+        if self.latest_snapshot is None or \
+                snap.height > self.latest_snapshot.height:
+            self.latest_snapshot = snap
+        if self._replay_committed_tail(sm) is None:
+            # Still gapped (the served snapshot lags our own compaction
+            # base): keep the sync pending — a fresher certificate exists
+            # somewhere, and the retry timer is still armed.
+            return
+        if self.snapshot_sync_pending:
+            self.snapshot_sync_pending = False
+            self._snap_sync_timer.cancel()
+        self.sim.trace.record(self.sim.now, "snapshot_installed",
+                              self.node_id, height=snap.height)
+        for b in msg.blocks:
+            self.store.add(b)
+        self._retry_ancestry_waiters()
 
     # ------------------------------------------------------------------
     # Block synchronization (paper Sec. 4.4)
@@ -546,6 +821,18 @@ class ReplicaBase(Process):
         if block is not None:
             self.send_to(src, BlockSyncResponse(block=block))
             return
+        snap = self.latest_snapshot
+        if snap is not None:
+            # With snapshots on, a compacted-away ancestor means the peer
+            # needs state transfer — ship the full certified snapshot
+            # (state included) rather than a bare checkpoint block.
+            from repro.consensus.messages import SnapshotReply
+
+            deltas = tuple(b for b in self.store.committed_chain()
+                           if b.height > snap.height)
+            self.snapshot_counters["served"] += 1
+            self.send_to(src, SnapshotReply(snapshot=snap, blocks=deltas))
+            return
         certificate = self.latest_checkpoint_cert()
         if certificate is not None:
             checkpoint_block = self.store.get(certificate.block_hash)
@@ -586,6 +873,10 @@ class ReplicaBase(Process):
         reset_channel = getattr(self.network, "reset_channel", None)
         if reset_channel is not None:
             reset_channel(self.node_id)
+        if self.state_machine is not None:
+            # Executed state is volatile: rebuild it from the sealed
+            # snapshot (if any) plus the retained committed tail.
+            self.run_work(self._rebuild_app_state)
         self.sim.trace.record(self.sim.now, "reboot", self.node_id)
 
 

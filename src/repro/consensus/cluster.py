@@ -97,21 +97,26 @@ class Cluster:
         return max(n.store.committed_tip.height for n in self.nodes)
 
     def assert_safety(self) -> None:
-        """Every pair of committed chains must be prefix-consistent.
+        """Every pair of committed chains must agree wherever they overlap.
 
         Raises ``AssertionError`` naming the divergence point otherwise —
-        this is the invariant behind the paper's Theorem 1.
+        this is the invariant behind the paper's Theorem 1.  Chains are
+        aligned by block *height*, not list position: after checkpoint
+        compaction a chain starts at its snapshot base rather than
+        genesis, so positional comparison would pair unrelated blocks.
         """
         chains = self.committed_chains()
         for i, a in enumerate(chains):
+            by_height = {block.height: block for block in a}
             for j, b in enumerate(chains):
                 if j <= i:
                     continue
-                for height in range(min(len(a), len(b))):
-                    if a[height].hash != b[height].hash:
+                for block in b:
+                    mine = by_height.get(block.height)
+                    if mine is not None and mine.hash != block.hash:
                         raise AssertionError(
                             f"safety violation: nodes {i} and {j} committed different "
-                            f"blocks at height {height}: {a[height]} vs {b[height]}"
+                            f"blocks at height {block.height}: {mine} vs {block}"
                         )
 
 

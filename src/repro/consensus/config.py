@@ -88,6 +88,16 @@ class ProtocolConfig:
     checkpoint_interval: Optional[int] = None
     #: Committed blocks kept after a compaction.
     checkpoint_retain: int = 64
+    #: Produce certified application snapshots at every checkpoint (state
+    #: rides the checkpoint certificate; requires ``checkpoint_interval``,
+    #: implies ``maintain_state``).  Enables SNAP-REQ/SNAP-REPLY catch-up
+    #: and sealed-snapshot restore on reboot.
+    snapshots: bool = False
+    #: Reboot restore path trusts the latest *sealed* snapshot outright
+    #: instead of demanding peer-certified freshness when the retained log
+    #: cannot bridge the gap — the undefended baseline the stale-snapshot
+    #: negative controls attack.  Never enable outside such controls.
+    snapshot_trust_sealed: bool = False
     #: Re-derive execution results when validating blocks (tests); when off,
     #: validation is cost-charged but the recomputation is skipped, which
     #: keeps large benchmark runs fast without changing simulated time.
@@ -97,6 +107,14 @@ class ProtocolConfig:
     def __post_init__(self) -> None:
         if self.n <= 0 or self.f < 0:
             raise ConfigurationError(f"invalid committee: n={self.n}, f={self.f}")
+        if self.snapshots:
+            if not self.checkpoint_interval:
+                raise ConfigurationError(
+                    "snapshots ride checkpoint certificates: set "
+                    "checkpoint_interval when enabling snapshots")
+            # Snapshots are of executed state; frozen dataclass, so the
+            # implied flag is set in place rather than via replace().
+            object.__setattr__(self, "maintain_state", True)
 
     @property
     def quorum(self) -> int:

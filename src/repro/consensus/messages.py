@@ -128,7 +128,39 @@ class CheckpointTransfer:
         return self.certificate.wire_size() + self.block.wire_size()
 
 
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """``SNAP-REQ``: a rebooted or lagging replica asks for a certified
+    application snapshot newer than what it holds.
+
+    ``min_height`` is the requester's current applied-state height; only
+    snapshots strictly above it are useful."""
+
+    requester: int
+    min_height: int
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return 4 + 8
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    """``SNAP-REPLY``: a certified snapshot plus the committed delta
+    blocks the server holds above it (so the requester can replay the
+    recent tail instead of waiting for live traffic to re-cover it)."""
+
+    snapshot: "Snapshot"
+    blocks: tuple = ()
+
+    def wire_size(self) -> int:
+        """Serialized size."""
+        return self.snapshot.wire_size() + sum(
+            b.wire_size() for b in self.blocks)
+
+
 from repro.chain.checkpoint import CheckpointCertificate, CheckpointVote  # noqa: E402
+from repro.chain.snapshot import Snapshot  # noqa: E402
 
 
 __all__ = [
@@ -140,4 +172,6 @@ __all__ = [
     "BlockSyncResponse",
     "CheckpointVoteMsg",
     "CheckpointTransfer",
+    "SnapshotRequest",
+    "SnapshotReply",
 ]

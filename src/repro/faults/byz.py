@@ -449,6 +449,40 @@ class StaleSealStrategy(ByzStrategy):
         return attacker
 
 
+class StaleSnapshotStrategy(ByzStrategy):
+    """Feed the rebooting replica its *oldest* sealed application
+    snapshot (maximal rollback of executed state) through the standard
+    :class:`RollbackAttacker` power over the snapshot vault's untrusted
+    store.  Defense: the restore path replays the retained committed tail
+    on top of whatever it unseals — a rolled-back snapshot either catches
+    back up (attack neutralized) or leaves a gap, and the defended path
+    then discards the state and pulls a certified fresh snapshot from
+    peers (SNAP-REQ).  The ``snapshot_trust_sealed`` baseline runs on the
+    stale state instead: the negative control the
+    ``sealed-state-freshness`` monitor catches."""
+
+    name = "stale-snapshot"
+
+    @classmethod
+    def applies_to(cls, node_cls: type) -> bool:
+        # Every ReplicaBase protocol grows the snapshot surface when the
+        # deployment enables snapshots; the vault check happens at reboot
+        # time because applicability is class-level but snapshots are a
+        # config knob.
+        return hasattr(node_cls, "_rebuild_app_state")
+
+    def pre_reboot(self, node: Any,
+                   attacker: Optional[RollbackAttacker]) -> Optional[RollbackAttacker]:
+        vault = getattr(node, "snapshot_vault", None)
+        if vault is not None:
+            snapshot_attacker = RollbackAttacker(store=vault.store)
+            snapshot_attacker.serve_oldest("snapshot")
+            node._snapshot_attacker = snapshot_attacker
+            self.attempts += 1
+            self.state["attacker"] = snapshot_attacker
+        return attacker
+
+
 class GarbageStrategy(ByzStrategy):
     """Inject unsigned garbage nobody has a handler for.  Defense:
     unknown message kinds are dropped at dispatch."""
@@ -489,6 +523,7 @@ STRATEGIES: dict[str, Type[ByzStrategy]] = {
         HideDecideStrategy,
         WithholdVoteStrategy,
         StaleSealStrategy,
+        StaleSnapshotStrategy,
         GarbageStrategy,
         SilentStrategy,
     )
@@ -715,6 +750,7 @@ __all__ = [
     "SilentStrategy",
     "SkipCounterStrategy",
     "StaleSealStrategy",
+    "StaleSnapshotStrategy",
     "WithholdVoteStrategy",
     "applicable_strategies",
     "collect_byz_counters",

@@ -122,6 +122,19 @@ class ChaosSpec:
     #: unprotected baseline).  The run fails if one of them does NOT trip
     #: — and any violation outside this list still fails it.
     expect_violations: tuple = ()
+    #: Certified application snapshots: checkpoint/snapshot every this
+    #: many blocks (None = snapshots off; nonzero also compacts the log,
+    #: keeping ``snapshot_retain`` blocks, and switches the workload to
+    #: KV-shaped payloads over ``kv_keys`` keys).
+    snapshot_interval: Optional[int] = None
+    #: Committed blocks retained after each compaction (snapshot runs).
+    snapshot_retain: int = 12
+    #: Undefended restore baseline (negative controls only): trust the
+    #: latest sealed snapshot even when the retained log cannot bridge
+    #: the gap to the committed tip.
+    snapshot_trust_sealed: bool = False
+    #: Distinct KV keys the workload writes when snapshots are on.
+    kv_keys: int = 8
 
     def __post_init__(self) -> None:
         if self.duration_ms <= self.quiesce_ms + self.warmup_ms:
@@ -146,6 +159,13 @@ class ChaosSpec:
             raise ConfigurationError(
                 f"byz_nodes={self.byz_nodes} exceeds the fault budget "
                 f"f={self.f}")
+        if self.snapshot_trust_sealed and not self.snapshot_interval:
+            raise ConfigurationError(
+                "snapshot_trust_sealed requires snapshot_interval")
+        if "stale-snapshot" in self.byz and not self.snapshot_interval:
+            raise ConfigurationError(
+                "the stale-snapshot strategy attacks the snapshot vault: "
+                "set snapshot_interval to enable snapshots")
 
     @property
     def fault_window(self) -> tuple[float, float]:
@@ -276,6 +296,18 @@ def generate_campaign(spec: ChaosSpec, seed: int) -> ChaosCampaign:
                 downtime = byz_rng.uniform(spec.min_downtime_ms,
                                            spec.max_downtime_ms)
                 at = byz_rng.uniform(start, max(start + 1.0, end - downtime))
+                byz_reboots.append((node, at, downtime))
+        if "stale-snapshot" in byz_strategies:
+            # Rolling a snapshot back is only meaningful once several
+            # versions have been sealed, so these self-reboots land in the
+            # last stretch of the fault window — by then compaction has
+            # pruned past the oldest sealed snapshot and the rollback
+            # leaves a real gap.
+            late = start + 0.6 * (end - start)
+            for node in byz_ids:
+                downtime = byz_rng.uniform(spec.min_downtime_ms,
+                                           spec.max_downtime_ms)
+                at = byz_rng.uniform(late, max(late + 1.0, end - downtime))
                 byz_reboots.append((node, at, downtime))
     byz_set = set(byz_ids)
     # Byzantine replicas occupy fault-budget slots for the whole run.
@@ -536,6 +568,18 @@ def run_chaos(spec: ChaosSpec, seed: int,
     enclave = EnclaveProfile.outside_tee() if protocol.outside_tee \
         else EnclaveProfile()
 
+    # Snapshot layer: pure function of the spec — disabled, it adds no
+    # config fields and no RNG draws, so non-snapshot campaigns stay
+    # bit-identical to the pre-snapshot baseline.
+    snapshot_kwargs: dict = {}
+    if spec.snapshot_interval:
+        snapshot_kwargs = dict(
+            snapshots=True,
+            checkpoint_interval=spec.snapshot_interval,
+            checkpoint_retain=spec.snapshot_retain,
+            snapshot_trust_sealed=spec.snapshot_trust_sealed,
+        )
+
     config = ProtocolConfig(
         n=campaign.n,
         f=spec.f,
@@ -547,6 +591,7 @@ def run_chaos(spec: ChaosSpec, seed: int,
         timeout_jitter=spec.timeout_jitter,
         recovery_retry_ms=spec.recovery_retry_ms,
         seed=seed,
+        **snapshot_kwargs,
     )
 
     # Lossy fabric + reliable transport.  Both are pure functions of the
@@ -570,9 +615,15 @@ def run_chaos(spec: ChaosSpec, seed: int,
 
     monitor = InvariantMonitor(
         expected_violations=spec.expect_violations,
-        track_seal_freshness="stale-seal" in campaign.byz_strategies,
+        track_seal_freshness=("stale-seal" in campaign.byz_strategies
+                              or "stale-snapshot" in campaign.byz_strategies),
     )
     generator_holder: list[OpenLoopGenerator] = []
+    # KV-shaped payloads only for snapshot runs: the kwarg is omitted
+    # otherwise so pre-snapshot campaigns construct the generator with the
+    # identical argument list (bit-identical runs).
+    workload_kwargs = {"kv_keys": spec.kv_keys} if spec.snapshot_interval \
+        else {}
 
     def source_factory(sim):
         queue = QueueSource()
@@ -580,6 +631,7 @@ def run_chaos(spec: ChaosSpec, seed: int,
             sim, queue, rate_tps=spec.base_rate_tps,
             payload_size=spec.payload_size,
             client_one_way_ms=latency.one_way_ms,
+            **workload_kwargs,
         )
         generator_holder.append(generator)
         return queue
@@ -647,6 +699,27 @@ def run_chaos(spec: ChaosSpec, seed: int,
                 f"[byz-engagement] cluster: strategy '{name}' was "
                 f"configured but never engaged (0 attempts, 0 denials)")
 
+    # Snapshot-layer engagement + observability: a snapshot campaign whose
+    # vault never sealed, or whose reboots never exercised the restore
+    # path, proves nothing about rollback resilience.
+    snap_totals: dict[str, int] = {}
+    if config.snapshots:
+        for node in cluster.nodes:
+            for key, value in node.snapshot_counters.items():
+                snap_totals[key] = snap_totals.get(key, 0) + value
+        if snap_totals.get("sealed", 0) == 0:
+            engagement_failures.append(
+                "[snapshot-engagement] cluster: snapshots enabled but no "
+                "snapshot was ever sealed")
+        reboots = len(campaign.crash_events) + len(campaign.byz_reboots)
+        restores = (snap_totals.get("restored", 0)
+                    + snap_totals.get("installed", 0)
+                    + snap_totals.get("stale_runs", 0))
+        if reboots and restores == 0:
+            engagement_failures.append(
+                f"[snapshot-engagement] cluster: {reboots} reboot(s) but "
+                f"the snapshot restore path never ran")
+
     if spec.expect_violations:
         # Negative control: expected invariants must trip; everything
         # else (including an expected one that never tripped) fails.
@@ -693,6 +766,18 @@ def run_chaos(spec: ChaosSpec, seed: int,
             name: counts["denials"]
             for name, counts in sorted(byz_counters.items())
         }
+    if config.snapshots:
+        for key, value in sorted(snap_totals.items()):
+            extras[f"snap_{key}"] = value
+        heights = [node.state_machine.state_height
+                   for node in cluster.nodes
+                   if node.state_machine is not None]
+        extras["state_heights"] = heights
+        top = max(heights, default=0)
+        extras["state_roots_at_max"] = len({
+            node.state_machine.state_root for node in cluster.nodes
+            if node.state_machine is not None
+            and node.state_machine.state_height == top})
     if spec.expect_violations:
         tripped = {v.invariant for v in monitor.violations}
         extras["expected_tripped"] = sorted(

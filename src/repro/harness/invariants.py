@@ -31,9 +31,17 @@ run* rather than only at the end:
   advances again (the GST-style liveness claim of Sec. 6);
 * **sealed-state-freshness** (opt-in, ``track_seal_freshness=True``) —
   across reboots, a trusted component never runs on a view older than
-  the peak it reached in an earlier incarnation.  Plain sealing
-  protocols (Damysus, OneShot) *accept* a stale sealed blob under a
-  rollback attacker — this is the monitor the negative controls trip.
+  the peak it reached in an earlier incarnation, and a replica's
+  executed application state never runs below the height of a snapshot
+  an earlier incarnation sealed (the snapshot face of the same
+  invariant; a node waiting on SNAP-REQ is *defending*, not violating).
+  Plain sealing protocols (Damysus, OneShot) — and the
+  ``snapshot_trust_sealed`` baseline — *accept* a stale sealed blob
+  under a rollback attacker; this is the monitor the negative controls
+  trip;
+* **state-agreement** — any two replicas whose executed state stands at
+  the same height expose the same state root (deterministic execution
+  over the agreed chain; checked whenever nodes maintain state).
 
 **Negative controls.**  ``expected_violations`` flips selected
 invariants from "must hold" to "must demonstrably break": a Byzantine
@@ -110,6 +118,13 @@ class InvariantMonitor:
         # (node, epoch) pairs already reported stale (seal-freshness)
         self._peak_vi: dict[int, int] = {}
         self._stale_reported: set[tuple[int, int]] = set()
+        # node -> peak *sealed snapshot* height across all incarnations
+        # (the application-state face of seal-freshness)
+        self._peak_snapshot: dict[int, int] = {}
+        self._stale_snap_reported: set[tuple[int, int]] = set()
+        # executed height -> (state root, first node seen there)
+        self._state_roots: dict[int, tuple[str, int]] = {}
+        self._state_disagree_reported: set[tuple[int, int]] = set()
         # (node, counter name) -> last persistent counter value seen
         self._last_counter: dict[tuple[int, str], int] = {}
         # node -> sim time it was first seen RECOVERING (this episode)
@@ -208,6 +223,28 @@ class InvariantMonitor:
         if self.inner is not None:
             self.inner.on_commit(node, block, now)
 
+    def on_state_transfer(self, node: int, block: Block, now: float) -> None:
+        """``node`` installed a certified checkpoint/snapshot at ``block``.
+
+        A legitimate committed-height jump — not a chain-integrity break —
+        but the installed block must still agree with the canonical chain.
+        """
+        canonical = self._canonical.get(block.height)
+        if canonical is None:
+            self._canonical[block.height] = (block.hash, node)
+        elif canonical[0] != block.hash:
+            self._violate(
+                "agreement", node,
+                f"state transfer installed block {block.hash[:12]} at height "
+                f"{block.height}, but node {canonical[1]} committed "
+                f"{canonical[0][:12]} there",
+            )
+        self._tip_height[node] = block.height
+        self._committed_hashes.setdefault(node, set()).add(block.hash)
+        inner = getattr(self.inner, "on_state_transfer", None)
+        if inner is not None:
+            inner(node, block, now)
+
     def on_reply(self, node: int, tx: Transaction, now: float) -> None:
         if self.inner is not None:
             self.inner.on_reply(node, tx, now)
@@ -259,6 +296,7 @@ class InvariantMonitor:
             self._poll_trusted_view(node)
             self._poll_counters(node)
             self._poll_recovery(node, now)
+            self._poll_app_state(node)
 
     def _trusted_components(self, node) -> list[tuple[str, Any]]:
         found = []
@@ -283,13 +321,19 @@ class InvariantMonitor:
                 f"(epoch {node.epoch}): {last} -> {vi}",
             )
         self._last_vi[key] = vi
-        if self.track_seal_freshness and \
+        status = getattr(node, "status", None)
+        running = status is None or \
+            getattr(status, "name", "RUNNING") == "RUNNING"
+        if self.track_seal_freshness and running and \
                 not getattr(checker, "needs_restore", False):
             # Cross-incarnation: a new epoch *running* below the peak of an
             # earlier one means the enclave restored stale sealed state
             # (within an epoch, checker-monotonicity already covers it).
             # While needs_restore is set the enclave has refused to run at
-            # all — the -R defense, not a freshness violation.
+            # all — the -R defense, not a freshness violation.  A node that
+            # is still RECOVERING shows a zeroed view legitimately: its
+            # checker is waiting on the recovery protocol, not on sealed
+            # storage, to restore vi.
             peak = self._peak_vi.get(node.node_id, 0)
             if vi < peak and key not in self._stale_reported:
                 self._stale_reported.add(key)
@@ -300,6 +344,55 @@ class InvariantMonitor:
                     f"sealed blob accepted)",
                 )
             self._peak_vi[node.node_id] = max(peak, vi)
+
+    def _poll_app_state(self, node) -> None:
+        sm = getattr(node, "state_machine", None)
+        if sm is None or not getattr(node, "alive", True):
+            return
+        state_height = sm.state_height
+        # State agreement: every root observed at a given executed height
+        # must match the first one seen there (deterministic execution
+        # over the agreed chain — snapshot installs included).
+        if state_height > 0:
+            root = sm.state_root
+            seen = self._state_roots.get(state_height)
+            if seen is None:
+                self._state_roots[state_height] = (root, node.node_id)
+            elif seen[0] != root:
+                key = (node.node_id, state_height)
+                if key not in self._state_disagree_reported:
+                    self._state_disagree_reported.add(key)
+                    self._violate(
+                        "state-agreement", node.node_id,
+                        f"state root at executed height {state_height} "
+                        f"disagrees with node {seen[1]}'s root there",
+                    )
+        if not self.track_seal_freshness:
+            return
+        if getattr(node, "snapshot_vault", None) is None:
+            return
+        if getattr(node, "snapshot_sync_pending", False):
+            # Defended gap: the node discarded possibly-stale state and is
+            # waiting for a certified fresh snapshot — not a violation.
+            return
+        status = getattr(node, "status", None)
+        if status is not None and \
+                getattr(status, "name", "RUNNING") != "RUNNING":
+            return
+        node_id = node.node_id
+        peak = self._peak_snapshot.get(node_id, 0)
+        key = (node_id, node.epoch)
+        if state_height < peak and key not in self._stale_snap_reported:
+            self._stale_snap_reported.add(key)
+            self._violate(
+                "sealed-state-freshness", node_id,
+                f"epoch {node.epoch} runs executed state at height "
+                f"{state_height}, behind the height-{peak} snapshot an "
+                f"earlier incarnation sealed (stale sealed snapshot "
+                f"accepted)",
+            )
+        self._peak_snapshot[node_id] = max(
+            peak, getattr(node, "sealed_snapshot_height", 0))
 
     def _poll_counters(self, node) -> None:
         for attr, component in self._trusted_components(node):

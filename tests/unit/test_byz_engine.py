@@ -21,10 +21,11 @@ from repro.faults.chaos import ChaosSpec, generate_campaign
 
 
 class TestCatalog:
-    def test_all_nine_strategies_registered(self):
+    def test_all_ten_strategies_registered(self):
         assert set(STRATEGIES) == {
             "replay-recovery", "lie-recovery", "skip-counter", "equivocate",
-            "hide-decide", "withhold-vote", "stale-seal", "garbage", "silent",
+            "hide-decide", "withhold-vote", "stale-seal", "stale-snapshot",
+            "garbage", "silent",
         }
 
     def test_resolve_rejects_unknown_names(self):

@@ -167,6 +167,60 @@ class TestBlockStore:
         assert store2.is_committed_tx((0, 100))
 
 
+class TestOrphanValidation:
+    """Height consistency must also hold for blocks accepted *before*
+    their parent (the out-of-order delivery path block-sync exercises)."""
+
+    def build_remote_chain(self, length: int) -> tuple[BlockStore, list[Block]]:
+        remote = BlockStore()
+        return remote, chain_of(remote, length)
+
+    def test_orphan_with_honest_height_survives_parent_arrival(self):
+        _, blocks = self.build_remote_chain(2)
+        store = BlockStore()
+        store.add(blocks[1])  # orphan: parent unknown
+        store.add(blocks[0])  # parent arrives, heights chain
+        assert blocks[1].hash in store
+        assert store.orphans_rejected == 0
+
+    def test_orphan_with_bogus_height_is_evicted(self):
+        _, blocks = self.build_remote_chain(1)
+        store = BlockStore()
+        liar = Block(txs=(), op="x", parent_hash=blocks[0].hash,
+                     view=2, height=7)  # claims height 7 atop height 1
+        store.add(liar)  # accepted provisionally (parent unknown)
+        assert liar.hash in store
+        store.add(blocks[0])  # parent materializes: 7 != 1 + 1
+        assert liar.hash not in store
+        assert store.orphans_rejected == 1
+
+    def test_eviction_cascades_through_descendants(self):
+        """Blocks chained onto a bogus-height orphan derived their heights
+        from it — they go too."""
+        _, blocks = self.build_remote_chain(1)
+        store = BlockStore()
+        liar = Block(txs=(), op="x", parent_hash=blocks[0].hash,
+                     view=2, height=7)
+        child = Block(txs=(), op="x", parent_hash=liar.hash, view=3, height=8)
+        store.add(liar)
+        store.add(child)  # consistent with its (bogus) parent
+        store.add(blocks[0])
+        assert liar.hash not in store and child.hash not in store
+        assert store.orphans_rejected == 2
+
+    def test_checkpoint_install_validates_waiting_orphans(self):
+        """State transfer installs a block directly; orphans waiting on it
+        get the same retroactive height check."""
+        remote, blocks = self.build_remote_chain(4)
+        store = BlockStore()
+        liar = Block(txs=(), op="x", parent_hash=blocks[2].hash,
+                     view=9, height=99)
+        store.add(liar)
+        store.install_checkpoint(blocks[2])
+        assert liar.hash not in store
+        assert store.orphans_rejected == 1
+
+
 class TestExecution:
     def test_execute_deterministic(self):
         txs = (make_tx(1, "SET a 1"), make_tx(2, "SET b 2"))

@@ -1,0 +1,136 @@
+"""Unit tests for checkpoint votes, certificates, and vote combination
+(:mod:`repro.chain.checkpoint`).
+
+``combine_checkpoint_votes`` is the safety-critical aggregation step: it
+must pick the plurality statement (not whatever the first vote says),
+collapse duplicate signers, and refuse to emit an under-signed
+certificate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.checkpoint import (
+    CheckpointCertificate,
+    CheckpointVote,
+    combine_checkpoint_votes,
+    make_checkpoint_vote,
+)
+from repro.crypto.keys import Keyring, generate_keypairs
+from repro.errors import ChainError
+
+
+@pytest.fixture
+def world():
+    pairs = generate_keypairs(range(5), seed=7)
+    return pairs, Keyring.from_keypairs(pairs)
+
+
+def vote(pairs, signer: int, height: int = 10, block_hash: str = "b10",
+         state_root: str = "") -> CheckpointVote:
+    return make_checkpoint_vote(pairs[signer].private, height, block_hash,
+                                state_root)
+
+
+class TestVote:
+    def test_roundtrip_validates(self, world):
+        pairs, ring = world
+        assert vote(pairs, 0).validate(ring)
+
+    def test_statement_covers_state_root(self, world):
+        """A vote for (h, hash, root) must not validate as (h, hash, '')."""
+        pairs, ring = world
+        with_root = vote(pairs, 0, state_root="r1")
+        stripped = CheckpointVote(height=with_root.height,
+                                  block_hash=with_root.block_hash,
+                                  signature=with_root.signature)
+        assert with_root.validate(ring)
+        assert not stripped.validate(ring)
+
+
+class TestCombine:
+    def test_exact_threshold_succeeds(self, world):
+        pairs, ring = world
+        votes = [vote(pairs, i) for i in range(2)]
+        cert = combine_checkpoint_votes(votes, threshold=2)
+        assert cert.height == 10
+        assert cert.block_hash == "b10"
+        assert len(cert.signatures) == 2
+        assert cert.validate(ring, threshold=2)
+
+    def test_under_threshold_raises(self, world):
+        pairs, _ = world
+        with pytest.raises(ChainError, match="below threshold"):
+            combine_checkpoint_votes([vote(pairs, 0)], threshold=2)
+
+    def test_empty_vote_set_raises(self):
+        with pytest.raises(ChainError, match="empty"):
+            combine_checkpoint_votes([], threshold=1)
+
+    def test_duplicate_signers_collapse(self, world):
+        """The same signer voting twice contributes one signature — two
+        copies of one vote must not fake a 2-signer certificate."""
+        pairs, _ = world
+        doubled = [vote(pairs, 0), vote(pairs, 0)]
+        with pytest.raises(ChainError, match="1 distinct signer"):
+            combine_checkpoint_votes(doubled, threshold=2)
+
+    def test_plurality_statement_wins(self, world):
+        """One lagging vote at the head of the list must not steer the
+        certificate onto its (minority) statement."""
+        pairs, ring = world
+        lagging = vote(pairs, 3, height=5, block_hash="b5")
+        majority = [vote(pairs, i) for i in range(3)]
+        cert = combine_checkpoint_votes([lagging] + majority, threshold=2)
+        assert (cert.height, cert.block_hash) == (10, "b10")
+        assert cert.validate(ring, threshold=2)
+
+    def test_mixed_heights_never_mix_signatures(self, world):
+        """Votes for different heights are separate statements: the
+        certificate only carries signatures over its own statement, so it
+        validates even when built from a mixed pool."""
+        pairs, ring = world
+        pool = [vote(pairs, 0), vote(pairs, 1, height=5, block_hash="b5"),
+                vote(pairs, 2), vote(pairs, 3, height=5, block_hash="b5"),
+                vote(pairs, 4)]
+        cert = combine_checkpoint_votes(pool, threshold=3)
+        assert cert.height == 10
+        assert len(cert.signatures) == 3
+        assert cert.validate(ring, threshold=3)
+
+    def test_state_root_splits_buckets(self, world):
+        """Same (height, hash) but different state roots are *different*
+        statements — a certificate must never blend them."""
+        pairs, ring = world
+        pool = [vote(pairs, 0, state_root="rootA"),
+                vote(pairs, 1, state_root="rootA"),
+                vote(pairs, 2, state_root="rootB")]
+        cert = combine_checkpoint_votes(pool, threshold=2)
+        assert cert.state_root == "rootA"
+        assert cert.validate(ring, threshold=2)
+
+    def test_ties_break_toward_first_seen(self, world):
+        pairs, _ = world
+        first = [vote(pairs, 0, block_hash="bX")]
+        second = [vote(pairs, 1, block_hash="bY")]
+        cert = combine_checkpoint_votes(first + second, threshold=1)
+        assert cert.block_hash == "bX"
+
+
+class TestCertificate:
+    def test_forged_signature_does_not_count(self, world):
+        pairs, ring = world
+        good = [vote(pairs, 0), vote(pairs, 1)]
+        cert = combine_checkpoint_votes(good, threshold=2)
+        # Re-bind the same signatures to a different statement: both become
+        # invalid, so validation fails even though two signatures are present.
+        forged = CheckpointCertificate(height=cert.height, block_hash="other",
+                                       signatures=cert.signatures)
+        assert not forged.validate(ring, threshold=2)
+
+    def test_wire_size_scales_with_signers(self, world):
+        pairs, _ = world
+        two = combine_checkpoint_votes([vote(pairs, i) for i in range(2)], 2)
+        three = combine_checkpoint_votes([vote(pairs, i) for i in range(3)], 3)
+        assert three.wire_size() > two.wire_size()
