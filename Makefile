@@ -7,7 +7,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-quick bench perf scale scale-smoke chaos chaos-smoke \
-	loss-smoke byz-smoke snapshot-smoke trace-smoke ci
+	loss-smoke byz-smoke snapshot-smoke trace-smoke shard-smoke \
+	shard-chaos shard-sweep ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -52,6 +53,28 @@ snapshot-smoke:
 		--duration 2500 --quiesce 1000 --crashes 0 --rollbacks 0 \
 		--partitions 0 --snapshot-interval 5 --byz stale-snapshot \
 		--snapshot-trust-sealed --byz-expect sealed-state-freshness
+
+# Sharded-deployment smoke (< 30 s): 2 shards under cross-shard 2PC
+# traffic, one whole-shard crash landing mid-2PC, rebooted via operator
+# cold restart; the cross-shard-atomicity audit and every per-shard
+# invariant must pass, and the TTL lock-release defense must engage.
+shard-smoke:
+	$(PYTHON) -m repro shard-chaos --seeds 1 --duration 4000 \
+		--quiesce 1200 --downtime 800 --rate 800 --ttl-blocks 1000
+
+# Full shard chaos matrix: crash + partition faults across 5 seeds each,
+# plus the canonical negative control (TTL defense off -> wedged locks
+# MUST trip cross-shard-atomicity).
+shard-chaos:
+	$(PYTHON) -m repro shard-chaos --seeds 5 --fault crash
+	$(PYTHON) -m repro shard-chaos --seeds 2 --fault partition
+	$(PYTHON) -m repro shard-chaos --seeds 5 --fault crash --no-ttl \
+		--expect cross-shard-atomicity
+
+# Throughput-vs-shard-count trajectory: regenerates
+# benchmarks/results/shard_sweep.txt.
+shard-sweep:
+	$(PYTHON) -m pytest -q benchmarks/test_shard_scale.py --benchmark-only
 
 # Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
 # Perfetto traces to traces/, and fails unless the walk attributes >= 95%

@@ -1,0 +1,67 @@
+"""Shard scaling sweep — aggregate throughput vs shard count.
+
+Weak scaling over the sharded deployment: offered load is *per shard*
+(S shards field S× the client traffic of one), so the aggregate
+committed throughput should grow close to linearly with the shard count
+while per-shard latency stays flat.  10% of arrivals are cross-shard 2PC
+transactions, so every point also exercises the router + coordination
+tier, and every point is audited against the per-shard invariant
+monitors and the ``cross-shard-atomicity`` check (``run_shard_point``
+raises on any violation).
+
+Publishes ``benchmarks/results/shard_sweep.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import quick_mode
+from repro.shard.sweep import format_shard_sweep, run_shard_point
+
+SHARD_COUNTS = (1, 2, 4, 8)
+DURATION_MS = 1500.0
+RATE_TPS = 2000.0
+
+
+def test_shard_scale_sweep(benchmark, record_table):
+    counts = SHARD_COUNTS[:2] if quick_mode() else SHARD_COUNTS
+
+    state = {"rows": [], "walls": []}
+
+    def _run():
+        for shards in counts:
+            start = time.perf_counter()
+            row = run_shard_point(
+                shards, duration_ms=DURATION_MS, rate_tps=RATE_TPS,
+                cross_fraction=0.1, quiesce_ms=500.0,
+            )
+            state["walls"].append(time.perf_counter() - start)
+            state["rows"].append(row)
+        return state["rows"]
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = state["rows"]
+
+    # Aggregate throughput must increase with shard count — that is the
+    # point of sharding.  Demand a real margin, not noise: each doubling
+    # of S must buy at least 1.5x aggregate committed throughput.
+    for prev, cur in zip(rows, rows[1:]):
+        assert cur["throughput_ktps"] > 1.5 * prev["throughput_ktps"], (
+            f"S={cur['shards']} delivered {cur['throughput_ktps']:.2f} ktps "
+            f"vs {prev['throughput_ktps']:.2f} at S={prev['shards']}")
+
+    # Cross-shard 2PC must actually engage on every multi-shard point.
+    for row in rows:
+        if row["shards"] > 1:
+            assert row["txns_committed"] > 0, row
+        else:
+            assert row["txns_committed"] == 0  # S=1 has no one to cross to
+
+    benchmark.extra_info["rows"] = [
+        [row["shards"], round(row["throughput_ktps"], 2)] for row in rows]
+
+    record_table("shard_sweep", format_shard_sweep(
+        rows,
+        title=f"Achilles shard sweep — LAN, {RATE_TPS:g} TPS/shard offered, "
+              f"10% cross-shard 2PC, f=1"))

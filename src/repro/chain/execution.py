@@ -31,6 +31,41 @@ from typing import Iterable, Sequence
 
 from repro.chain.transaction import Transaction
 from repro.crypto.hashing import digest_of
+from repro.errors import StateMachineError
+
+#: Largest value accepted by a ``SET`` (bytes of the UTF-8 payload text).
+#: Oversized values are rejected with :class:`StateMachineError` rather
+#: than silently applied — unbounded values would let one transaction blow
+#: up every snapshot and state-transfer message downstream.
+MAX_VALUE_BYTES = 4096
+
+#: Size of the hash ring keys are mapped onto (32-bit points).
+KEYSPACE = 1 << 32
+
+
+def key_point(key: str) -> int:
+    """Map a key to a stable point on the ``[0, 2**32)`` hash ring.
+
+    Pure function of the key (sha256-based, platform-independent): the
+    shard-range splitter and the router must place every key identically
+    across processes and runs.
+    """
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big")
+
+
+def validate_write(key: str, value: str) -> None:
+    """Typed admission check for one ``SET`` write.
+
+    Raises :class:`StateMachineError` on an empty key or an oversized
+    value; shared by :meth:`KVStateMachine.apply` and the shard router so
+    a bad write is rejected at the door with the same error it would die
+    with at apply time on every replica.
+    """
+    if not key:
+        raise StateMachineError("SET with an empty key")
+    if len(value.encode()) > MAX_VALUE_BYTES:
+        raise StateMachineError(
+            f"SET value for {key!r} exceeds {MAX_VALUE_BYTES} bytes")
 
 
 def compute_state_root(items: "tuple[tuple[str, str], ...]", history: str,
@@ -79,6 +114,7 @@ class KVStateMachine:
         """Apply one transaction."""
         parts = tx.payload.split(" ", 2)
         if len(parts) == 3 and parts[0] == "SET":
+            validate_write(parts[1], parts[2])
             self._state[parts[1]] = parts[2]
             effect = ("SET", parts[1], parts[2])
         else:
@@ -92,6 +128,17 @@ class KVStateMachine:
         for tx in txs:
             self.apply(tx)
         return self.state_root
+
+    def items_in_range(self, lo: int, hi: int) -> "tuple[tuple[str, str], ...]":
+        """The items whose :func:`key_point` falls in ``[lo, hi)``, sorted.
+
+        Deterministic (sorted by key, stable hash): this is what the
+        shard-range splitter uses to carve one machine's state into
+        per-shard slices, so every caller derives the identical split.
+        """
+        return tuple(sorted(
+            (k, v) for k, v in self._state.items() if lo <= key_point(k) < hi
+        ))
 
     # ------------------------------------------------------------------
     # Snapshots (see repro.chain.snapshot)
@@ -140,4 +187,5 @@ def execute_transactions(txs: Sequence[Transaction], parent_hash: str) -> str:
     return root
 
 
-__all__ = ["KVStateMachine", "compute_state_root", "execute_transactions"]
+__all__ = ["KVStateMachine", "compute_state_root", "execute_transactions",
+           "key_point", "validate_write", "KEYSPACE", "MAX_VALUE_BYTES"]

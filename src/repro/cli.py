@@ -14,6 +14,12 @@ Commands:
   always-on invariant monitors; the first failing seed is re-run with
   span tracing and dumped as a Perfetto trace.  ``--byz-expect`` flips
   named invariants into negative controls (they must demonstrably trip).
+* ``shard`` — throughput-vs-shard-count sweep over a sharded deployment
+  (S consensus groups + client router + cross-shard 2PC), each point
+  audited against ``cross-shard-atomicity``.
+* ``shard-chaos`` — crash or client-partition a *whole shard* mid-2PC
+  and audit convergence to abort; ``--no-ttl --expect
+  cross-shard-atomicity`` is the canonical negative control.
 * ``protocols`` — list everything the registry knows.
 
 All output is plain text (the same tables the benchmarks record).
@@ -373,6 +379,108 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
           "(open at https://ui.perfetto.dev)", file=sys.stderr)
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Throughput-vs-shard-count sweep over a sharded deployment.
+
+    Every point is also a correctness run: the per-shard invariant
+    monitors and the ``cross-shard-atomicity`` audit must pass or the
+    sweep aborts.
+    """
+    from repro.shard.sweep import (format_shard_slo, format_shard_sweep,
+                                   run_shard_point)
+
+    rows = []
+    for shards in args.shards:
+        for seed in range(args.seeds):
+            rows.append(run_shard_point(
+                shards, protocol=args.protocol, f=args.faults, seed=seed,
+                network=args.network, duration_ms=args.duration,
+                warmup_ms=args.warmup, quiesce_ms=args.quiesce,
+                rate_tps=args.rate, cross_fraction=args.cross_fraction,
+                batch_size=args.batch, payload_size=args.payload,
+            ))
+    table = format_shard_sweep(rows)
+    print(table)
+    print()
+    print(format_shard_slo(rows))
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(table + "\n")
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_shard_chaos(args: argparse.Namespace) -> int:
+    """Shard-aware chaos campaigns: crash or partition a whole shard
+    mid-2PC and audit cross-shard atomicity.
+
+    ``--no-ttl`` disables the participant timeout→abort defense; pair it
+    with ``--expect cross-shard-atomicity`` for the canonical negative
+    control (wedged locks MUST trip the audit).
+    """
+    from repro.harness.parallel import run_experiments
+    from repro.shard.chaos import ShardChaosResult, run_shard_chaos_seed
+
+    expect = tuple(s for s in (args.expect or "").split(",") if s)
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    configs = [
+        dict(
+            protocol=args.protocol, f=args.faults, shards=args.shards,
+            network=args.network, duration_ms=args.duration,
+            quiesce_ms=args.quiesce, rate_tps=args.rate,
+            cross_fraction=args.cross_fraction, fault=args.fault,
+            downtime_ms=args.downtime,
+            txn_ttl_blocks=None if args.no_ttl else args.ttl_blocks,
+            expect_violations=expect,
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    results = run_experiments(configs, runner=run_shard_chaos_seed,
+                              result_type=ShardChaosResult, unpack=False)
+
+    rows = []
+    failures = []
+    for result in results:
+        rows.append([
+            result.protocol, result.shards, result.f, result.seed,
+            result.fault, result.victim, result.in_flight_at_fault,
+            result.committed_txns, result.aborted_txns, result.commit_rejects,
+            result.extras.get("expired_prepares", 0),
+            len(result.violations), result.digest[:12],
+        ])
+        if result.violations:
+            failures.append(result)
+    mode = " [negative control]" if expect else ""
+    print(format_table(
+        ["protocol", "shards", "f", "seed", "fault", "victim", "mid-2pc",
+         "commit", "abort", "rejects", "expired", "violations", "digest"],
+        rows,
+        title=f"shard chaos — {args.shards} shards × {len(seeds)} seed(s), "
+              f"{args.network}, f={args.faults}, fault={args.fault}{mode}",
+    ))
+    for result in failures:
+        print(f"\nFAIL seed {result.seed}: "
+              f"{len(result.violations)} violation(s)", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        print("  reproduce with:\n"
+              f"    python -m repro shard-chaos --protocol {result.protocol} "
+              f"--shards {result.shards} --f {result.f} "
+              f"--network {args.network} --fault {args.fault} "
+              f"--duration {args.duration:g} --seed {result.seed}"
+              + (" --no-ttl" if args.no_ttl else "")
+              + (f" --expect {args.expect}" if args.expect else ""),
+              file=sys.stderr)
+    if failures:
+        return 1
+    print(f"\nall {len(results)} shard campaigns passed every invariant")
+    return 0
+
+
 def cmd_perf_profile(args: argparse.Namespace) -> int:
     """Run a standard experiment under cProfile and print the hot spots.
 
@@ -547,6 +655,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where the first failing seed's span trace "
                               "is dumped (Perfetto JSON)")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_shard = sub.add_parser(
+        "shard", help="throughput-vs-shard-count sweep (sharded deployment)")
+    p_shard.add_argument("--protocol", default="achilles")
+    p_shard.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8],
+                         help="shard counts to sweep")
+    p_shard.add_argument("--seeds", type=int, default=1,
+                         help="seeds per shard count")
+    p_shard.add_argument("--f", type=int, default=1, dest="faults")
+    p_shard.add_argument("--network", choices=["LAN", "WAN"], default="LAN")
+    p_shard.add_argument("--duration", type=float, default=2000.0,
+                         help="run length per point (simulated ms)")
+    p_shard.add_argument("--warmup", type=float, default=200.0)
+    p_shard.add_argument("--quiesce", type=float, default=600.0,
+                         help="tail with cross-shard initiation stopped (ms)")
+    p_shard.add_argument("--rate", type=float, default=3000.0,
+                         help="offered load PER SHARD (TPS)")
+    p_shard.add_argument("--cross-fraction", type=float, default=0.1,
+                         help="fraction of arrivals that are cross-shard 2PC")
+    p_shard.add_argument("--batch", type=int, default=100)
+    p_shard.add_argument("--payload", type=int, default=64)
+    p_shard.add_argument("--out", default=None,
+                         help="also write the sweep table to this file")
+    p_shard.set_defaults(func=cmd_shard)
+
+    p_schaos = sub.add_parser(
+        "shard-chaos", help="crash/partition a whole shard mid-2PC and "
+                            "audit cross-shard atomicity")
+    p_schaos.add_argument("--protocol", default="achilles")
+    p_schaos.add_argument("--shards", type=int, default=2)
+    p_schaos.add_argument("--seeds", type=int, default=5,
+                          help="run seeds 0..N-1")
+    p_schaos.add_argument("--seed", type=int, default=None,
+                          help="run exactly this one seed")
+    p_schaos.add_argument("--f", type=int, default=1, dest="faults")
+    p_schaos.add_argument("--network", choices=["LAN", "WAN"], default="LAN")
+    p_schaos.add_argument("--fault", choices=["crash", "partition", "none"],
+                          default="crash")
+    p_schaos.add_argument("--duration", type=float, default=12000.0)
+    p_schaos.add_argument("--quiesce", type=float, default=2500.0)
+    p_schaos.add_argument("--downtime", type=float, default=3800.0,
+                          help="how long the victim shard stays down (ms)")
+    p_schaos.add_argument("--rate", type=float, default=1500.0,
+                          help="offered load per shard (TPS)")
+    p_schaos.add_argument("--cross-fraction", type=float, default=0.25)
+    p_schaos.add_argument("--ttl-blocks", type=int, default=1500,
+                          help="participant lock TTL in committed blocks")
+    p_schaos.add_argument("--no-ttl", action="store_true",
+                          help="disable the timeout→abort defense "
+                               "(negative controls)")
+    p_schaos.add_argument("--expect", default=None, metavar="INV[,INV]",
+                          help="negative control: these invariants MUST "
+                               "trip; anything else failing still fails")
+    p_schaos.set_defaults(func=cmd_shard_chaos)
 
     p_perf = sub.add_parser(
         "perf", help="simulator performance tooling")

@@ -92,6 +92,17 @@ class QueueSource:
         """Put transactions back at the head (a proposal failed)."""
         self._queue.extendleft(reversed(list(txs)))
 
+    def reset(self) -> None:
+        """Wipe the mempool — it is volatile state, so a whole-group crash
+        loses it.  Without this, a transaction taken into a proposal that
+        died with the group stays in the dedup set forever and every
+        client retransmission of it is dropped: it becomes permanently
+        unorderable.  (Already-*committed* transactions are still safe to
+        resubmit after a wipe: replicas answer those from the durable
+        store without re-queueing.)"""
+        self._queue.clear()
+        self._seen.clear()
+
     def pending(self) -> int:
         """Transactions currently queued."""
         return len(self._queue)
@@ -166,6 +177,99 @@ class OpenLoopGenerator:
         self._schedule_next()
 
 
+class ShardedOpenLoopGenerator:
+    """Poisson open-loop traffic over a sharded deployment.
+
+    Each arrival is either a single-shard write routed through the
+    :class:`~repro.shard.router.Router` (probability ``1 -
+    cross_fraction``) or a cross-shard transaction spanning
+    ``cross_writes`` distinct shards driven through the 2PC
+    :class:`~repro.shard.txn.TxnManager`.  ``rate_tps`` is *per shard*,
+    so the offered load scales with the deployment (the weak-scaling
+    shape of the throughput-vs-shard-count sweep).
+
+    Key pools are deterministic: keys ``k0, k1, ...`` are assigned to
+    shards by the shard map's own hash placement until every shard owns
+    ``keys_per_shard`` keys — a pure function of the shard count, so
+    every seed and every process draws writes over the same key sets.
+
+    ``stop_cross()`` ends cross-shard initiation while single-shard
+    writes keep flowing: chaos campaigns call it at quiesce start so all
+    2PC instances resolve (commit, abort, or TTL-expire — expiry needs
+    blocks, which the continuing writes provide) before the atomicity
+    audit runs.
+    """
+
+    def __init__(self, sim: Simulator, router, txns, rate_tps: float,
+                 cross_fraction: float = 0.0, keys_per_shard: int = 32,
+                 cross_writes: int = 2, payload_size: int = 0) -> None:
+        shard_map = router.shard_map
+        if not 0.0 <= cross_fraction <= 1.0:
+            raise ValueError(f"cross_fraction must be in [0,1], "
+                             f"got {cross_fraction}")
+        if shard_map.n_shards < 2 and cross_fraction > 0.0:
+            raise ValueError("cross-shard traffic needs at least two shards")
+        self.sim = sim
+        self.router = router
+        self.txns = txns
+        self.n_shards = shard_map.n_shards
+        self.rate_tps = rate_tps
+        self.cross_fraction = cross_fraction
+        self.cross_writes = min(cross_writes, max(self.n_shards, 1))
+        self.payload_size = payload_size
+        self._rng = sim.fork_rng("shard-open-loop")
+        self._stopped = False
+        self._seq = 0
+        self.keys_by_shard: list[list[str]] = [[] for _ in range(self.n_shards)]
+        i = 0
+        while any(len(pool) < keys_per_shard for pool in self.keys_by_shard):
+            key = f"k{i}"
+            pool = self.keys_by_shard[shard_map.shard_of(key)]
+            if len(pool) < keys_per_shard:
+                pool.append(key)
+            i += 1
+        self.writes_issued = 0
+        self.txns_issued = 0
+
+    def start(self) -> None:
+        """Begin generating arrivals (one Poisson process per shard)."""
+        for _ in range(self.n_shards):
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating entirely."""
+        self._stopped = True
+
+    def stop_cross(self) -> None:
+        """Stop initiating cross-shard transactions; writes continue."""
+        self.cross_fraction = 0.0
+
+    def _schedule_next(self) -> None:
+        if self._stopped or self.rate_tps <= 0:
+            return
+        gap_ms = self._rng.expovariate(self.rate_tps / 1000.0)
+        self.sim.schedule(gap_ms, self._emit, label="shard-open-loop")
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        self._seq += 1
+        rng = self._rng
+        if self.cross_fraction > 0.0 and rng.random() < self.cross_fraction:
+            shards = rng.sample(range(self.n_shards), self.cross_writes)
+            writes = {rng.choice(self.keys_by_shard[s]): f"v{self._seq}.{j}"
+                      for j, s in enumerate(shards)}
+            self.txns.begin(writes)
+            self.txns_issued += 1
+        else:
+            shard = rng.randrange(self.n_shards)
+            key = rng.choice(self.keys_by_shard[shard])
+            self.router.submit_write(key, f"v{self._seq}",
+                                     payload_size=self.payload_size)
+            self.writes_issued += 1
+        self._schedule_next()
+
+
 class FiniteWorkload:
     """Submit a fixed batch of transactions up front (examples/tests)."""
 
@@ -192,6 +296,7 @@ __all__ = [
     "SaturatedSource",
     "QueueSource",
     "OpenLoopGenerator",
+    "ShardedOpenLoopGenerator",
     "FiniteWorkload",
     "make_payload",
 ]

@@ -115,9 +115,7 @@ class ReplicaBase(Process):
         # Live executed state (enables the Sec. 6.1 fast-read path).
         self.state_machine = None
         if config.maintain_state:
-            from repro.chain.execution import KVStateMachine
-
-            self.state_machine = KVStateMachine()
+            self.state_machine = self._new_state_machine()
         # Checkpointing (certified log compaction + state transfer).
         self._checkpoint_votes: dict[tuple[int, str, str], dict[int, object]] = {}
         self.checkpoint_certs: dict[int, object] = {}
@@ -374,6 +372,20 @@ class ReplicaBase(Process):
     # ------------------------------------------------------------------
     # Commitment
     # ------------------------------------------------------------------
+    def _new_state_machine(self):
+        """A fresh application state machine (boot/reboot/state transfer).
+
+        Every construction site funnels through here so a deployment with
+        a custom machine (the shard layer's 2PC-aware one) rebuilds the
+        same semantics after a crash or a checkpoint install.
+        """
+        factory = self.config.state_machine_factory
+        if factory is not None:
+            return factory()
+        from repro.chain.execution import KVStateMachine
+
+        return KVStateMachine()
+
     def commit_block(self, block: Block, *, reply: bool = True) -> list[Block]:
         """Commit ``block`` (and uncommitted ancestors); notify listener.
 
@@ -423,12 +435,17 @@ class ReplicaBase(Process):
                 from repro.consensus.messages import ClientReply
 
                 pop_client = self._client_reply_to.pop
+                # Shard-aware machines annotate replies with the 2PC entry
+                # outcome ("prepared"/"committed"/...); the plain machine
+                # has no such method and replies stay byte-identical.
+                outcome_of = getattr(self.state_machine, "reply_outcome", None)
                 for tx in b.txs:
                     client = pop_client(tx.key, None)
                     if client is not None:
                         self.send_to(client, ClientReply(
                             tx_key=tx.key, block_hash=b.hash, view=b.view,
                             replica=self.node_id,
+                            outcome=outcome_of(tx.key) if outcome_of else "",
                         ))
             interval = self.config.checkpoint_interval
             if interval and b.height > 0 and b.height % interval == 0:
@@ -510,9 +527,7 @@ class ReplicaBase(Process):
             # one; the bare-checkpoint fallback restarts execution from an
             # empty base (documented limitation of checkpoint-only
             # deployments, unchanged behavior).
-            from repro.chain.execution import KVStateMachine
-
-            self.state_machine = KVStateMachine()
+            self.state_machine = self._new_state_machine()
             if self.snapshot_vault is not None:
                 self.snapshot_sync_pending = True
                 self._request_snapshot_sync()
@@ -588,10 +603,9 @@ class ReplicaBase(Process):
            on the possibly-stale state — which is exactly what the
            ``sealed-state-freshness`` invariant catches.
         """
-        from repro.chain.execution import KVStateMachine
         from repro.errors import SealingError
 
-        self.state_machine = KVStateMachine()
+        self.state_machine = self._new_state_machine()
         self._pending_snapshot_state.clear()
         self.snapshot_sync_pending = False
         sm = self.state_machine
@@ -627,7 +641,7 @@ class ReplicaBase(Process):
         if vault is not None and not self.config.snapshot_trust_sealed:
             # Defended: refuse to serve from possibly-stale state; hold an
             # empty machine until a certified fresh snapshot arrives.
-            self.state_machine = KVStateMachine()
+            self.state_machine = self._new_state_machine()
             self.latest_snapshot = None
             self.snapshot_sync_pending = True
             self._request_snapshot_sync()
@@ -783,11 +797,13 @@ class ReplicaBase(Process):
             # Already executed: reply immediately (client retransmission).
             from repro.consensus.messages import ClientReply
 
+            outcome_of = getattr(self.state_machine, "reply_outcome", None)
             self.send_to(msg.reply_to, ClientReply(
                 tx_key=msg.tx.key,
                 block_hash=self.store.committed_tip.hash,
                 view=self.store.committed_tip.view,
                 replica=self.node_id,
+                outcome=outcome_of(msg.tx.key) if outcome_of else "",
             ))
             return
         if msg.tx.key in self._client_reply_to:
@@ -799,6 +815,14 @@ class ReplicaBase(Process):
             return
         self._client_reply_to[msg.tx.key] = msg.reply_to
         submit(msg.tx)
+
+    def forget_client_routes(self) -> None:
+        """Drop the pending client reply routes (volatile: they live in
+        host RAM and die with a crash).  A whole-group outage must clear
+        them — the pending-route gate in :meth:`on_ClientRequest` would
+        otherwise swallow post-reboot client retransmissions of
+        transactions the crash un-queued."""
+        self._client_reply_to.clear()
 
     def on_ClientReadRequest(self, msg, src: int) -> None:
         """Answer a consensus-free read from the executed state

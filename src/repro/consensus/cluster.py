@@ -133,6 +133,9 @@ def build_cluster(
     faults: Optional[LinkFaultModel] = None,
     transport: Optional[TransportConfig] = None,
     byzantine_factories: Optional[dict[int, Callable[..., ReplicaBase]]] = None,
+    sim: Optional[Simulator] = None,
+    network: Optional[Network] = None,
+    key_seed: Optional[int] = None,
 ) -> Cluster:
     """Assemble a cluster of ``config.n`` replicas.
 
@@ -141,14 +144,25 @@ def build_cluster(
     factory for chosen node ids (fault-injection tests).  ``faults``
     injects probabilistic link faults; ``transport`` gives every endpoint
     a reliable channel that survives them.
+
+    Multi-group composition (the shard layer): pass ``sim`` to place this
+    cluster inside an existing simulator instead of creating one, and/or
+    ``network`` to supply a pre-built fabric (then the latency/adversary/
+    fault arguments here are ignored — they were consumed when that fabric
+    was built).  ``key_seed`` decorrelates the keypair material of
+    co-simulated groups; it defaults to ``seed``, so single-group callers
+    are untouched.
     """
     if byzantine_factories and any(i >= config.n for i in byzantine_factories):
         raise ConfigurationError("byzantine node id outside the committee")
-    sim = Simulator(seed=seed)
-    network = Network(sim, latency=latency, adversary=adversary,
-                      synchrony=synchrony, bandwidth=bandwidth,
-                      faults=faults, transport=transport)
-    keypairs = generate_keypairs(range(config.n), seed=seed)
+    if sim is None:
+        sim = Simulator(seed=seed)
+    if network is None:
+        network = Network(sim, latency=latency, adversary=adversary,
+                          synchrony=synchrony, bandwidth=bandwidth,
+                          faults=faults, transport=transport)
+    keypairs = generate_keypairs(
+        range(config.n), seed=seed if key_seed is None else key_seed)
     keyring = Keyring.from_keypairs(keypairs)
     source = source_factory(sim) if source_factory is not None else None
 

@@ -83,6 +83,12 @@ class ProtocolConfig:
     #: the consensus-free read path of paper Sec. 6.1); off by default to
     #: keep large benchmark runs lean.
     maintain_state: bool = False
+    #: Factory for the replica's application state machine; ``None`` means
+    #: the plain :class:`~repro.chain.execution.KVStateMachine`.  The shard
+    #: layer installs a 2PC-aware machine here; every construction site
+    #: (boot, reboot replay, checkpoint transfer) goes through it so a
+    #: rebuilt replica gets the same application semantics.
+    state_machine_factory: Optional[Callable[[], object]] = None
     #: Exchange checkpoint votes every this many committed blocks and
     #: compact the log on each f+1 certificate (None = never compact).
     checkpoint_interval: Optional[int] = None

@@ -43,10 +43,14 @@ class ClientReply:
     block_hash: str
     view: int
     replica: int
+    #: Application-level outcome annotation (shard 2PC entries report
+    #: "prepared"/"committed"/... here).  Empty for plain writes, in which
+    #: case it adds zero wire bytes — pre-shard runs are bit-identical.
+    outcome: str = ""
 
     def wire_size(self) -> int:
         """Serialized size of the reply."""
-        return 16 + HASH_BYTES + 8 + 4
+        return 16 + HASH_BYTES + 8 + 4 + len(self.outcome)
 
 
 @dataclass(frozen=True)

@@ -114,6 +114,26 @@ class AchillesChecker(Enclave):
         self.recovering = True
         self._pending_nonce = None
 
+    def cold_boot(self, preh: str) -> None:
+        """Operator-attested synchronized cold boot after a *total* group
+        outage.
+
+        Algorithm 3 cannot run when every replica rebooted at once — it
+        needs f+1 RUNNING helpers and none exist — so the operator
+        re-provisions the group exactly as at first deployment, except the
+        latest-stored anchor is the durable committed tip (``preh``)
+        instead of genesis.  This skips recovery, which is sound only
+        under the operator's attestation that *no* replica retained
+        volatile state: with every checker wiped and every in-flight
+        message dead, a fresh view-0 incarnation can conflict with
+        nothing.  It is NOT safe after a partial outage — that is what
+        recovery is for — hence a separate provisioning call rather than
+        a relaxation of ``tee_recover``.
+        """
+        self.state = CheckerState(preph=preh)
+        self.recovering = False
+        self._pending_nonce = None
+
     # ------------------------------------------------------------------
     # TEEprepare (Algorithm 2, lines 5–14)
     # ------------------------------------------------------------------

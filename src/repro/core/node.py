@@ -725,6 +725,45 @@ class AchillesNode(ReplicaBase):
         self.status = NodeStatus.CRASHED
         self.pacemaker.stop()
 
+    def cold_restart(self) -> None:
+        """Operator-initiated synchronized cold boot after a *total* group
+        outage.
+
+        Recovery (Algorithm 3) needs f+1 RUNNING helpers; when the whole
+        group crashed together none exist and every replica would retry
+        ``TEErequest`` forever.  The operator instead restarts the group
+        as at first deployment: durable committed chains (equalized by the
+        operator beforehand), fresh enclaves cold-booted with the
+        committed tip as the latest-stored anchor, views from 0.  Sound
+        only because the outage was total — no replica retained volatile
+        state and every pre-crash in-flight message died with its
+        endpoints — and the caller (the deployment layer) attests exactly
+        that.
+        """
+        ReplicaBase.reboot(self)
+        self.checker.reboot()
+        self.accumulator.reboot()
+        self._view_certs.clear()
+        self._votes.clear()
+        self._decided_views.clear()
+        self._recovery_replies.clear()
+        self._recovery_request = None
+        self._recovery_nonce = None
+        self._pending_recovery.clear()
+        self._proposed_view = -1
+        self.preb_block = self.store.committed_tip
+        self.preb_cert = None
+        self.preb_qc = None
+        self.view = 0
+        self.pacemaker.stop()
+        init_ms = self.checker.restart(self.config.n - 1)
+        self.accumulator.restart(0)
+        self.checker.cold_boot(self.preb_block.hash)
+        self.status = NodeStatus.RUNNING
+        self.sim.trace.record(self.sim.now, "cold_restart", self.node_id)
+        self.after(init_ms, lambda: self.run_work(self._advance_via_teeview),
+                   label=f"{self.name}.cold_boot")
+
 
 __all__ = [
     "AchillesNode",

@@ -68,6 +68,16 @@ class ChainError(ReproError):
     """Block/chain structural violation (unknown parent, bad height...)."""
 
 
+class StateMachineError(ReproError):
+    """A transaction payload was rejected by the application state machine
+    (empty key, oversized value, malformed 2PC entry).
+
+    Raised at *admission* (router/client validation) and at *apply* time:
+    a deterministic state machine must fail identically on every replica,
+    so rejection is a typed error rather than a silent no-op apply.
+    """
+
+
 class ValidationError(ReproError):
     """A received protocol message failed validation."""
 

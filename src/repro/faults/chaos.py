@@ -826,6 +826,17 @@ def run_chaos_seed(config: Mapping) -> ChaosResult:
     return run_chaos(ChaosSpec(**kwargs), seed=int(config.get("seed", 0)))
 
 
+def run_shard_chaos_seed(config: Mapping):
+    """Shard-aware campaign worker (crash/partition a whole consensus
+    group mid-2PC): re-exported from :mod:`repro.shard.chaos` so chaos
+    drivers find every campaign family under one roof.  Lazy import —
+    the shard layer pulls in the deployment stack, which single-group
+    chaos runs never need."""
+    from repro.shard.chaos import run_shard_chaos_seed as _run
+
+    return _run(config)
+
+
 __all__ = [
     "ChaosSpec",
     "ChaosCampaign",
@@ -835,4 +846,5 @@ __all__ = [
     "generate_campaign",
     "run_chaos",
     "run_chaos_seed",
+    "run_shard_chaos_seed",
 ]

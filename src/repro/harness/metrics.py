@@ -79,6 +79,17 @@ class LatencyStats:
         """99th percentile."""
         return self.percentile(99.0)
 
+    @property
+    def p999(self) -> float:
+        """99.9th percentile — the SLO tail the production-shaped runs
+        report (ROADMAP item 4)."""
+        return self.percentile(99.9)
+
+    def merge_from(self, other: "LatencyStats") -> None:
+        """Fold another aggregate's samples into this one (shard rollups)."""
+        if other.samples:
+            self.add_many(other.samples)
+
 
 class MetricsCollector:
     """Cluster-wide metrics listener."""
@@ -219,6 +230,7 @@ class MetricsCollector:
             "commit_latency_p99_ms": self.commit_latency.p99,
             "e2e_latency_ms": self.e2e_latency.mean,
             "e2e_latency_p99_ms": self.e2e_latency.p99,
+            "e2e_latency_p999_ms": self.e2e_latency.p999,
             "duplicate_replies": self.duplicate_replies,
         }
 

@@ -111,6 +111,25 @@ def format_byz_breakdown(results: "Sequence[Any]",
     return format_table(headers, rows, title=title)
 
 
+def format_slo_breakdown(stats_by_label: "dict[str, Any]",
+                         title: str = "latency SLO breakdown") -> str:
+    """Render per-row latency SLO columns (p50/p99/p999).
+
+    ``stats_by_label`` maps a row label (a shard, a protocol, an
+    aggregate) to a :class:`repro.harness.metrics.LatencyStats`.  These
+    are the production-style pass criteria of ROADMAP item 4: the shard
+    sweep prints one row per shard plus the cluster-wide aggregate.
+    """
+    headers = ["run", "samples", "mean (ms)", "p50 (ms)", "p99 (ms)",
+               "p999 (ms)"]
+    rows = []
+    for label, stats in stats_by_label.items():
+        rows.append([label, stats.count, round(stats.mean, 3),
+                     round(stats.p50, 3), round(stats.p99, 3),
+                     round(stats.p999, 3)])
+    return format_table(headers, rows, title=title)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
                  title: str = "") -> str:
     """Render a monospace table with a title line."""
@@ -130,4 +149,4 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
 
 
 __all__ = ["format_table", "format_breakdown", "format_byz_breakdown",
-           "format_network_breakdown"]
+           "format_network_breakdown", "format_slo_breakdown"]

@@ -1,0 +1,78 @@
+"""The ``cross-shard-atomicity`` invariant.
+
+A cross-shard transaction's writes must be applied on **all** of its
+participant shards or on **none** — and no participant may be left
+holding locks once the run quiesces.  Both faces are checked against the
+*best-informed* replica of each shard (highest executed height): after
+the campaign's quiesce window every live replica converges there, and a
+rebooted laggard's stale view must not masquerade as the shard's state.
+
+Faces:
+
+* **partial application** — some participant shards executed ``TCMT``
+  for a txid while others ended aborted/unknown.  This is the classic
+  2PC disaster; with the manager's decide-deadline rule it indicates a
+  real bug (a commit raced a TTL expiry).
+* **wedged locks** — a participant still holds locks at end of run.  A
+  crashed coordinator plus no deterministic timeout→abort produces
+  exactly this; the negative-control campaign disables the TTL to prove
+  the invariant catches it.
+* **decision mismatch** — a shard committed a txn whose manager-side
+  decision was abort (or vice versa); belt-and-braces over the first
+  face.
+"""
+
+from __future__ import annotations
+
+from repro.harness.invariants import InvariantViolation
+
+INVARIANT = "cross-shard-atomicity"
+
+
+def check_cross_shard_atomicity(deployment) -> "list[InvariantViolation]":
+    """Audit every transaction the manager ever began (end-of-run check)."""
+    violations: list[InvariantViolation] = []
+    now = deployment.sim.now
+
+    def violate(message: str) -> None:
+        violations.append(InvariantViolation(INVARIANT, now, None, message))
+
+    authoritative = {}
+    for shard in range(deployment.n_shards):
+        machines = deployment.shard_machines(shard)
+        authoritative[shard] = machines[0] if machines else None
+
+    for txid, txn in sorted(deployment.txns.txns.items()):
+        statuses = {}
+        for shard in txn.participants:
+            machine = authoritative[shard]
+            statuses[shard] = machine.txn_status(txid) if machine is not None \
+                else "unknown"
+        committed = [s for s, status in statuses.items()
+                     if status == "committed"]
+        if committed and len(committed) < len(statuses):
+            violate(
+                f"txn {txid} partially applied: committed on shard(s) "
+                f"{committed} but {statuses} overall")
+        if committed and txn.decision == "abort":
+            violate(
+                f"txn {txid} committed on shard(s) {committed} but the "
+                f"coordinator decision was abort")
+        if not committed and txn.outcome == "committed":
+            violate(
+                f"txn {txid} reported committed to the client but no "
+                f"participant shard applied it: {statuses}")
+
+    for shard in range(deployment.n_shards):
+        machine = authoritative[shard]
+        if machine is None or not machine.locks:
+            continue
+        held = sorted(set(machine.locks.values()))
+        violate(
+            f"shard {shard} still holds locks for txn(s) {held} at end of "
+            f"run — a crashed coordinator wedged its participants "
+            f"(timeout→abort defense off or not converged)")
+    return violations
+
+
+__all__ = ["check_cross_shard_atomicity", "INVARIANT"]

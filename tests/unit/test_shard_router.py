@@ -1,0 +1,147 @@
+"""Router tier edge cases: dead shards, failover duplicates, admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateMachineError
+from repro.shard.deployment import ShardedDeployment
+
+
+def _deployment(shards: int = 1, seed: int = 5) -> ShardedDeployment:
+    return ShardedDeployment(shards=shards, f=1, seed=seed, batch_size=20)
+
+
+class TestDeadShard:
+    def test_all_replicas_crashed_fails_client_visibly(self):
+        """With every replica of the shard down, the op must retry with
+        backoff and then fail with ``on_done(None)`` — never hang."""
+        deployment = _deployment()
+        deployment.start()
+        deployment.run(100.0)
+        deployment.crash_shard(0)
+
+        outcomes = []
+        deployment.router.submit_write("k1", "v1", on_done=outcomes.append)
+        deployment.run(10_000.0)
+
+        assert outcomes == [None]
+        assert deployment.router.failures == 1
+        assert deployment.router.completed == 0
+        # The broadcast fallback engaged before giving up...
+        assert deployment.router.retransmissions >= 1
+        # ...exactly max_attempts dispatches, then a clean stop: the op
+        # is no longer pending and the queue depth returns to zero.
+        assert deployment.router.pending_for(0) == 0
+
+    def test_quorum_op_against_dead_shard_fails_too(self):
+        deployment = _deployment()
+        deployment.start()
+        deployment.run(100.0)
+        deployment.crash_shard(0)
+
+        outcomes = []
+        deployment.router.submit_payload(0, "TPREP t1 a=1", quorum=2,
+                                         on_done=outcomes.append)
+        deployment.run(10_000.0)
+        assert outcomes == [None]
+
+    def test_persistent_op_outlives_the_outage(self):
+        """A persistent (commit-dissemination) op must NOT give up: it
+        keeps retrying through the outage and lands after the reboot."""
+        deployment = _deployment()
+        deployment.start()
+        deployment.run(100.0)
+        deployment.router.submit_payload(0, "TPREP t1 a=1", quorum=2)
+        deployment.run(100.0)
+        deployment.crash_shard(0)
+
+        outcomes = []
+        deployment.router.submit_payload(0, "TCMT t1", quorum=2,
+                                         persistent=True,
+                                         on_done=outcomes.append)
+        deployment.run(3_000.0)  # longer than the non-persistent budget
+        assert outcomes == []    # still pending, not failed
+        deployment.reboot_shard(0)
+        deployment.run(3_000.0)
+        assert outcomes == ["committed"]
+
+
+class TestFailoverDuplicates:
+    def test_broadcast_replies_deduped(self):
+        """A quorum op is broadcast to all n replicas; every live replica
+        replies, but the op completes exactly once and the extra replies
+        are counted, not double-delivered."""
+        deployment = _deployment()
+        deployment.start()
+        deployment.run(100.0)
+
+        outcomes = []
+        deployment.router.submit_payload(0, "TPREP t1 a=1", quorum=2,
+                                         on_done=outcomes.append)
+        deployment.run(2_000.0)
+        assert outcomes == ["prepared"]
+        assert deployment.router.completed == 1
+        # n=4 replicas each replied; quorum consumed 2, the rest are
+        # observed duplicates.
+        assert deployment.router.duplicate_replies >= 1
+
+    def test_retransmission_after_leader_crash_not_double_counted(self):
+        """Crash one replica mid-run: the retry broadcast provokes extra
+        replies from the survivors, all deduped down to one completion
+        per op."""
+        deployment = _deployment()
+        deployment.start()
+        deployment.run(100.0)
+        deployment.clusters[0].nodes[0].crash()
+
+        outcomes = []
+        for i in range(20):
+            deployment.router.submit_write(f"k{i}", "v",
+                                           on_done=outcomes.append)
+        deployment.run(5_000.0)
+        assert len(outcomes) == 20
+        assert all(o is not None for o in outcomes)
+        # One completion per op even though broadcasts provoked extra
+        # replies (dedup by (tx, replica) within outcome buckets).
+        assert deployment.router.completed == 20
+
+    def test_quorum_requires_distinct_replicas(self):
+        """The same replica reporting twice must not satisfy a quorum of
+        two — dedup is per (outcome, replica)."""
+        from repro.consensus.messages import ClientReply
+        from repro.net.message import Envelope
+
+        deployment = _deployment()
+        router = deployment.router
+        outcomes = []
+        key = router.submit_payload(0, "TPREP t1 a=1", quorum=2,
+                                    on_done=outcomes.append)
+
+        def reply(replica: int) -> Envelope:
+            return Envelope(src=replica, dst=router.router_id,
+                            payload=ClientReply(tx_key=key, block_hash="h",
+                                                view=0, replica=replica,
+                                                outcome="prepared"),
+                            size=64, sent_at=0.0)
+
+        router.deliver(reply(1))
+        router.deliver(reply(1))  # same replica again: no quorum
+        assert outcomes == []
+        assert router.duplicate_replies == 1
+        router.deliver(reply(2))  # a second distinct replica: quorum
+        assert outcomes == ["prepared"]
+
+
+class TestAdmission:
+    def test_empty_key_rejected_at_the_door(self):
+        deployment = _deployment()
+        with pytest.raises(StateMachineError):
+            deployment.router.submit_write("", "v")
+
+    def test_oversized_value_rejected_at_the_door(self):
+        deployment = _deployment()
+        with pytest.raises(StateMachineError):
+            deployment.router.submit_write("k", "x" * 5000)
+        # Nothing was enqueued for the bad write.
+        assert deployment.router.pending_for(0) == 0
