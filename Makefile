@@ -8,7 +8,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-quick bench perf scale scale-smoke chaos chaos-smoke \
 	loss-smoke byz-smoke snapshot-smoke trace-smoke shard-smoke \
-	shard-chaos shard-sweep ci
+	shard-chaos shard-sweep soak soak-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -75,6 +75,27 @@ shard-chaos:
 # benchmarks/results/shard_sweep.txt.
 shard-sweep:
 	$(PYTHON) -m pytest -q benchmarks/test_shard_scale.py --benchmark-only
+
+# Long-horizon soak smoke (< 60 s): one defended campaign per pressure
+# shape (sub-quorum fault pressure + flash-crowd overload against the
+# bounded mempool) with the degradation-cycle detector and the SLO
+# reconvergence gate armed, plus the canonical negative control (minbft
+# with backoff disabled and a base timeout below its commit latency)
+# which MUST trip the cycle detector.  See docs/SOAK.md.
+soak-smoke:
+	$(PYTHON) -m repro soak --protocols achilles \
+		--scenario sub-quorum flash-crowd --seeds 1
+	$(PYTHON) -m repro soak --protocols minbft --scenario flash-crowd \
+		--seeds 1 --vulnerable \
+		--expect degradation-cycle,post-quiesce-liveness
+
+# Full soak matrix: 3 protocols x 5 scenarios x 3 seeds (~6 min), then
+# the negative control across the same seeds.
+soak:
+	$(PYTHON) -m repro soak --seeds 3
+	$(PYTHON) -m repro soak --protocols minbft --scenario flash-crowd \
+		--seeds 3 --vulnerable \
+		--expect degradation-cycle,post-quiesce-liveness
 
 # Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
 # Perfetto traces to traces/, and fails unless the walk attributes >= 95%

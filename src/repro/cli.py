@@ -379,6 +379,136 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
           "(open at https://ui.perfetto.dev)", file=sys.stderr)
 
 
+#: Default protocol set for ``repro soak`` — the TEE protocol with full
+#: recovery plus the two baselines (distinct committee/trust shapes).
+_SOAK_PROTOCOLS = ["achilles", "damysus", "minbft"]
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run long-horizon soak campaigns and gate on SLO reconvergence.
+
+    Each (protocol, scenario, seed) triple is one deterministic campaign
+    over production-shaped traffic; a failing row prints its post-release
+    timeline, per-phase breakdown, and the exact reproduction command.
+    Exit status is 1 if any campaign failed a gate.
+    """
+    from repro.faults.scenarios import SCENARIOS
+    from repro.harness.parallel import run_experiments
+    from repro.harness.report import format_phase_breakdown, format_slo_timeline
+    from repro.harness.soak import SoakResult, run_soak_seed
+
+    protocols = args.protocols or _SOAK_PROTOCOLS
+    scenarios = list(SCENARIOS) if "all" in args.scenario else args.scenario
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    expect = tuple(s for s in (args.expect or "").split(",") if s)
+    pressure_ms = (args.hours * 3_600_000.0 if args.hours
+                   else args.pressure)
+    overrides = dict(
+        f=args.faults, network=args.network,
+        warmup_ms=args.warmup, pressure_ms=pressure_ms,
+        reconverge_budget_ms=args.budget, settle_ms=args.settle,
+        base_rate_tps=args.rate, clients=args.clients,
+        mempool_capacity=args.mempool,
+        vulnerable=args.vulnerable,
+        expect_violations=expect,
+    )
+    if args.hours:
+        # Hour-scale pressure: stretch the diurnal curve so the load
+        # actually breathes across the run instead of flickering.
+        overrides["diurnal_period_ms"] = min(3_600_000.0, pressure_ms / 2.0)
+    configs = [
+        dict(protocol=protocol, scenario=scenario, seed=seed, **overrides)
+        for protocol in protocols
+        for scenario in scenarios
+        for seed in seeds
+    ]
+    results = run_experiments(configs, runner=run_soak_seed,
+                              result_type=SoakResult, unpack=False)
+
+    rows = []
+    failures = []
+    for result in results:
+        reconv = ("-" if result.reconverged_at_ms is None
+                  else f"{result.reconverged_at_ms / 1000.0:.2f}")
+        rows.append([
+            result.protocol, result.scenario, result.f, result.n,
+            result.seed, result.committed_height, result.recoveries,
+            result.extras.get("overflow_drops", 0),
+            result.extras.get("backoff_nudges", 0), reconv,
+            result.cycle or "-", len(result.violations), result.digest[:12],
+        ])
+        if result.violations:
+            failures.append(result)
+    mode = " [VULNERABLE CONTROL]" if args.vulnerable else ""
+    print(format_table(
+        ["protocol", "scenario", "f", "n", "seed", "height", "recov",
+         "drops", "nudges", "reconv (s)", "cycle", "violations", "digest"],
+        rows,
+        title=f"soak — {len(protocols)} protocol(s) × {len(scenarios)} "
+              f"scenario(s) × {len(seeds)} seed(s), {args.network}, "
+              f"f={args.faults}, pressure {pressure_ms / 1000.0:g} s"
+              f"{mode}",
+    ))
+    for result in failures:
+        print(f"\nFAIL {result.protocol} {result.scenario} seed "
+              f"{result.seed}: {len(result.violations)} violation(s)",
+              file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        tail = [w for w in result.windows
+                if w.phase in ("reconverge", "settle")]
+        every = max(1, len(tail) // 24)
+        print(format_slo_timeline(tail, title="  post-release timeline:",
+                                  every=every), file=sys.stderr)
+        print(format_phase_breakdown(result.windows), file=sys.stderr)
+        extra = ""
+        if args.vulnerable:
+            extra += "--vulnerable "
+        if expect:
+            extra += f"--expect {','.join(expect)} "
+        print("  reproduce with:\n"
+              f"    python -m repro soak --protocols {result.protocol} "
+              f"--scenario {result.scenario} --f {result.f} "
+              f"--network {result.network} "
+              f"--pressure {pressure_ms:g} --warmup {args.warmup:g} "
+              f"--budget {args.budget:g} --settle {args.settle:g} "
+              f"--rate {args.rate:g} --clients {args.clients} "
+              f"--mempool {args.mempool} "
+              f"{extra}--seed {result.seed}", file=sys.stderr)
+    if failures:
+        _dump_failing_soak_trace(args, failures[0], overrides)
+        return 1
+    if args.vulnerable:
+        print(f"\nall {len(results)} negative controls tripped the "
+              f"expected invariants")
+    else:
+        print(f"\nall {len(results)} campaigns converged within budget")
+    return 0
+
+
+def _dump_failing_soak_trace(args: argparse.Namespace, failure,
+                             overrides: dict) -> None:
+    """Re-run the first failing soak seed with span tracing on (the re-run
+    is deterministic, so the trace shows the exact failing campaign)."""
+    import pathlib
+
+    from repro.harness.soak import SoakSpec, run_soak
+
+    trace_dir = pathlib.Path(args.trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    path = trace_dir / (f"soak-{failure.protocol}-{failure.scenario}"
+                        f"-seed{failure.seed}.json")
+    spec_kwargs = dict(overrides)
+    spec_kwargs.update(protocol=failure.protocol, scenario=failure.scenario)
+    try:
+        run_soak(SoakSpec(**spec_kwargs), failure.seed, trace_path=str(path))
+    except Exception as exc:  # best effort: never mask the failure itself
+        print(f"  (trace dump failed: {exc})", file=sys.stderr)
+        return
+    print(f"  span trace of the failing run: {path} "
+          "(open at https://ui.perfetto.dev)", file=sys.stderr)
+
+
 def cmd_shard(args: argparse.Namespace) -> int:
     """Throughput-vs-shard-count sweep over a sharded deployment.
 
@@ -655,6 +785,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where the first failing seed's span trace "
                               "is dumped (Perfetto JSON)")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_soak = sub.add_parser(
+        "soak", help="long-horizon soak campaigns: production-shaped "
+                     "traffic, degradation-cycle detection, SLO-gated "
+                     "reconvergence")
+    p_soak.add_argument("--protocols", nargs="+", default=None,
+                        help=f"protocol names (default: {' '.join(_SOAK_PROTOCOLS)})")
+    p_soak.add_argument("--scenario", nargs="+", default=["all"],
+                        help="soak scenarios, or 'all' (see "
+                             "repro.faults.scenarios.SCENARIOS)")
+    p_soak.add_argument("--seeds", type=int, default=3,
+                        help="run seeds 0..N-1 per (protocol, scenario)")
+    p_soak.add_argument("--seed", type=int, default=None,
+                        help="run exactly this one seed (reproduce a failure)")
+    p_soak.add_argument("--f", type=int, default=1, dest="faults",
+                        help="fault threshold f")
+    p_soak.add_argument("--network", choices=["LAN", "WAN"], default="LAN")
+    p_soak.add_argument("--pressure", type=float, default=4000.0,
+                        help="fault-pressure phase length (simulated ms)")
+    p_soak.add_argument("--hours", type=float, default=None,
+                        help="pressure length in simulated HOURS "
+                             "(overrides --pressure; stretches the diurnal "
+                             "period to match)")
+    p_soak.add_argument("--warmup", type=float, default=1200.0,
+                        help="warmup phase length (ms)")
+    p_soak.add_argument("--budget", type=float, default=4000.0,
+                        help="reconvergence budget after release (ms)")
+    p_soak.add_argument("--settle", type=float, default=1800.0,
+                        help="settle tail past the budget (ms)")
+    p_soak.add_argument("--rate", type=float, default=2500.0,
+                        help="base offered load (TPS)")
+    p_soak.add_argument("--clients", type=int, default=50_000,
+                        help="client population (seeded arrival process)")
+    p_soak.add_argument("--mempool", type=int, default=4000,
+                        help="bounded mempool capacity (overflow drops are "
+                             "typed and counted)")
+    p_soak.add_argument("--vulnerable", action="store_true",
+                        help="negative control: disable backoff and arm a "
+                             "base timeout below commit latency — the "
+                             "degradation-cycle detector MUST trip (pair "
+                             "with --expect)")
+    p_soak.add_argument("--expect", default=None, metavar="INV[,INV]",
+                        help="negative control: these invariants MUST trip "
+                             "on every seed; any other violation still "
+                             "fails the run")
+    p_soak.add_argument("--trace-dir", default="traces",
+                        help="where the first failing seed's span trace "
+                             "is dumped (Perfetto JSON)")
+    p_soak.set_defaults(func=cmd_soak)
 
     p_shard = sub.add_parser(
         "shard", help="throughput-vs-shard-count sweep (sharded deployment)")

@@ -58,28 +58,55 @@ class SaturatedSource:
         return 1 << 30
 
 
+#: Typed drop reasons for bounded mempool admission (report keys).
+DROP_DUPLICATE = "duplicate"
+DROP_OVERFLOW = "overflow"
+
+
 class QueueSource:
     """A FIFO mempool fed by generators or simulated clients.
 
     Deduplicates by transaction key so a client retransmission cannot be
-    executed twice.
+    executed twice.  An optional ``capacity`` bounds admission: beyond it
+    new submissions are dropped (typed, counted in ``drops``) instead of
+    growing the queue — and the backlog — without bound during overload
+    or an outage.  Dropped transactions do **not** enter the dedup set,
+    so a client retry after the backlog drains is admitted normally.
+
+    ``capacity=None`` (the default) is byte-identical to the historical
+    unbounded behavior — the golden-digest suite pins this.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None = unbounded)")
         self._queue: Deque[Transaction] = deque()
         self._seen: set[tuple[int, int]] = set()
+        self.capacity = capacity
         self.submitted = 0
         self.duplicates_dropped = 0
+        self.drops: dict[str, int] = {}
+
+    def _drop(self, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
 
     def submit(self, tx: Transaction) -> bool:
-        """Add a transaction; returns False for duplicates."""
+        """Add a transaction; returns False for duplicates/overflow."""
         if tx.key in self._seen:
             self.duplicates_dropped += 1
+            self._drop(DROP_DUPLICATE)
+            return False
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self._drop(DROP_OVERFLOW)
             return False
         self._seen.add(tx.key)
         self._queue.append(tx)
         self.submitted += 1
         return True
+
+    def dropped(self, reason: str) -> int:
+        """Drops recorded for ``reason`` (see DROP_* constants)."""
+        return self.drops.get(reason, 0)
 
     def take(self, count: int, now: float) -> list[Transaction]:
         """Pop up to ``count`` transactions."""
@@ -89,7 +116,13 @@ class QueueSource:
         return txs
 
     def requeue(self, txs) -> None:
-        """Put transactions back at the head (a proposal failed)."""
+        """Put transactions back at the head (a proposal failed).
+
+        Requeues bypass the capacity check: these transactions were
+        already admitted once, and dropping them here would silently
+        unorder work the leader pulled.  Admission control applies at
+        the door only.
+        """
         self._queue.extendleft(reversed(list(txs)))
 
     def reset(self) -> None:
@@ -293,6 +326,8 @@ class FiniteWorkload:
 
 
 __all__ = [
+    "DROP_DUPLICATE",
+    "DROP_OVERFLOW",
     "SaturatedSource",
     "QueueSource",
     "OpenLoopGenerator",

@@ -73,6 +73,29 @@ class ProtocolConfig:
     #: de-synchronizing view-change storms under message loss.  0 (the
     #: default) arms exact timeouts and draws nothing.
     timeout_jitter: float = 0.0
+    #: Cap on pacemaker exponential backoff: consecutive timeouts double
+    #: the view timeout at most this many times.  0 disables backoff
+    #: entirely (every view gets the base timeout) — the vulnerable
+    #: configuration the soak negative controls run.
+    pacemaker_max_doublings: int = 10
+    #: Decay-on-progress storm damping: on commit progress the pacemaker
+    #: subtracts this many backoff doublings instead of resetting to 0.
+    #: After a long partition/outage, a full reset re-arms short timeouts
+    #: while the committee is still catching up, re-igniting the view
+    #: storm; decaying one step per committed block releases the backoff
+    #: only as fast as real progress is sustained.  0 (the default)
+    #: keeps the historical hard reset — draws no RNG, perturbs no
+    #: digests (golden suite pins this).
+    backoff_decay: int = 0
+    #: Recovery-assist re-arm: a RUNNING replica that receives a
+    #: RecoveryRequest caps its armed view timer at the base timeout
+    #: (shorten-only, see :meth:`Pacemaker.nudge`).  A rebooted replica's
+    #: recovery needs a view led by a RUNNING helper, but views advance
+    #: only on timeout — survivors still holding peak-backoff timers
+    #: armed during the fault window turn every recovery into a wait for
+    #: the longest such timer.  False (the default) keeps the historical
+    #: behavior — no RNG draws, no digest changes.
+    recovery_assist: bool = False
     #: Retry period for the recovery protocol (ms).
     recovery_retry_ms: float = 50.0
     #: How long a leader with an empty mempool waits before re-checking.

@@ -28,17 +28,36 @@ class Pacemaker:
         process: Process,
         base_timeout_ms: float,
         on_timeout: Callable[[int], None],
-        max_backoff_doublings: int = 10,
+        max_backoff_doublings: Optional[int] = None,
         jitter: Optional[float] = None,
+        decay: Optional[int] = None,
     ) -> None:
         self._process = process
         self.base_timeout_ms = base_timeout_ms
         self._on_timeout = on_timeout
+        config = getattr(process, "config", None)
+        # Backoff cap and decay-on-progress default to the replica
+        # config (same lazy idiom as jitter below) so deployments tune
+        # them without touching the four protocol constructors.
+        if max_backoff_doublings is None:
+            max_backoff_doublings = getattr(config, "pacemaker_max_doublings", 10)
         self._max_doublings = max_backoff_doublings
+        if decay is None:
+            decay = getattr(config, "backoff_decay", 0)
+        self.decay = decay
         self._timer: Timer = process.timer("pacemaker")
         self._consecutive_timeouts = 0
         self.current_view = 0
         self.timeouts_fired = 0
+        #: Storm-damping engagement: progress() calls that released
+        #: backoff gradually (decay mode, nonzero level) instead of
+        #: hard-resetting.  The soak anti-vacuity gate reads this.
+        self.backoff_decays = 0
+        #: High-water mark of consecutive timeouts (storm depth).
+        self.peak_backoff = 0
+        #: Recovery-assist engagement: armed timers shortened by
+        #: :meth:`nudge` (liveness evidence arrived mid-backoff).
+        self.backoff_nudges = 0
         # Deterministic per-replica jitter on armed timeouts: replicas that
         # lose the same message must not all time out at the same instant
         # (synchronized view-change storms re-collide forever under loss).
@@ -80,8 +99,54 @@ class Pacemaker:
         self._timer.start(self._armed_timeout_ms(), self._fire)
 
     def progress(self) -> None:
-        """A block committed: reset backoff (the view advanced healthily)."""
-        self._consecutive_timeouts = 0
+        """A block committed: release backoff (the view advanced healthily).
+
+        With ``decay`` 0 (default) the backoff hard-resets — the
+        historical behavior.  With ``decay`` > 0 it steps down by that
+        many doublings per progress event instead: sustained progress
+        still converges to the base timeout, but one lucky commit in the
+        middle of a storm no longer re-arms minimum-length timeouts
+        across a committee that is still resynchronizing.
+        """
+        if self._consecutive_timeouts <= 0:
+            return
+        if self.decay > 0:
+            self.backoff_decays += 1
+            self._consecutive_timeouts = max(
+                0, self._consecutive_timeouts - self.decay)
+        else:
+            self._consecutive_timeouts = 0
+
+    def nudge(self) -> None:
+        """Cap the armed timer's *remaining* delay at the base timeout.
+
+        Called on external liveness evidence (a rebooted replica asking
+        for recovery help): a timer armed at peak backoff during a fault
+        window otherwise pins the whole committee — views only advance on
+        timeout, recovery only completes once a view lands on a RUNNING
+        leader, so a multi-second armed timer becomes a multi-second
+        post-release stall (the soak harness flags it as a degradation
+        cycle).  Shorten-only: a nudge never pushes a deadline later, so
+        evidence arriving faster than the base timeout (recovery retries
+        every few ms) cannot livelock the timer into never firing.
+        Timeouts are always safe — this affects liveness only.
+        """
+        if not self._timer.pending:
+            return
+        deadline = self._timer.deadline
+        remaining = deadline - self._process.sim.now
+        if remaining <= self.base_timeout_ms:
+            return
+        delay = self.base_timeout_ms
+        if self.jitter > 0.0:
+            if self._rng is None:
+                self._rng = self._process.sim.fork_rng(
+                    f"pacemaker/{self._process.name}")
+            delay *= 1.0 + self.jitter * self._rng.random()
+        if delay >= remaining:
+            return
+        self.backoff_nudges += 1
+        self._timer.start(delay, self._fire)
 
     def rearm(self) -> None:
         """Re-arm the timer for the current view at the current backoff.
@@ -100,6 +165,8 @@ class Pacemaker:
     def _fire(self) -> None:
         self.timeouts_fired += 1
         self._consecutive_timeouts += 1
+        if self._consecutive_timeouts > self.peak_backoff:
+            self.peak_backoff = self._consecutive_timeouts
         view = self.current_view
         self._process.sim.trace.record(
             self._process.sim.now, "view_timeout", None, view=view

@@ -618,6 +618,11 @@ class AchillesNode(ReplicaBase):
         """Step ②: a healthy node reports its checker state + stored block."""
         if self.status is not NodeStatus.RUNNING:
             return  # recovering nodes must not answer (Sec. 4.5)
+        if self.config.recovery_assist:
+            # A rebooted peer is asking for help: its recovery completes
+            # only once a view lands on a RUNNING leader, so don't sit
+            # out a peak-backoff timer armed during the fault window.
+            self.pacemaker.nudge()
         self._pending_recovery[src] = (msg.request, self.sim.now)
         self._send_recovery_reply(msg.request, src)
 

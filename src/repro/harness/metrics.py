@@ -91,13 +91,79 @@ class LatencyStats:
             self.add_many(other.samples)
 
 
+class WindowedLatencyStats:
+    """Per-sim-time-bucket latency aggregates (SLO timelines).
+
+    Samples land in the bucket of their *arrival* time: window ``i``
+    covers ``[i·window_ms, (i+1)·window_ms)``.  Buckets are sparse — a
+    window with no samples costs nothing and reads as an empty
+    :class:`LatencyStats` — so hour-long soaks at sub-second windows stay
+    cheap.
+    """
+
+    def __init__(self, window_ms: float) -> None:
+        if window_ms <= 0:
+            raise ValueError("window_ms must be > 0")
+        self.window_ms = window_ms
+        self._windows: dict[int, LatencyStats] = {}
+
+    def index_of(self, at_ms: float) -> int:
+        """The window index covering ``at_ms``."""
+        return int(at_ms // self.window_ms)
+
+    def add(self, value: float, at_ms: float) -> None:
+        """Record one sample at simulation time ``at_ms``."""
+        idx = self.index_of(at_ms)
+        stats = self._windows.get(idx)
+        if stats is None:
+            stats = self._windows[idx] = LatencyStats()
+        stats.add(value)
+
+    def add_many(self, values: list[float], at_ms: float) -> None:
+        """Record a batch of samples, all arriving at ``at_ms``."""
+        if not values:
+            return
+        idx = self.index_of(at_ms)
+        stats = self._windows.get(idx)
+        if stats is None:
+            stats = self._windows[idx] = LatencyStats()
+        stats.add_many(values)
+
+    def window(self, idx: int) -> LatencyStats:
+        """The aggregate for window ``idx`` (empty stats if no samples)."""
+        return self._windows.get(idx, _EMPTY_STATS)
+
+    def indices(self) -> list[int]:
+        """Sorted indices of non-empty windows."""
+        return sorted(self._windows)
+
+    @property
+    def count(self) -> int:
+        """Total samples across all windows."""
+        return sum(s.count for s in self._windows.values())
+
+
+#: Shared immutable-by-convention empty aggregate for absent windows.
+_EMPTY_STATS = LatencyStats()
+
+
 class MetricsCollector:
-    """Cluster-wide metrics listener."""
+    """Cluster-wide metrics listener.
+
+    ``window_ms`` (opt-in) additionally buckets end-to-end latency
+    samples into a :class:`WindowedLatencyStats` timeline keyed by reply
+    arrival time — the soak harness reads per-window p50/p99/p999 from
+    it.  ``None`` (default) keeps the collector byte-identical to the
+    historical behavior.
+    """
 
     def __init__(self, warmup_ms: float = 0.0,
-                 reply_one_way_ms: float = 0.05) -> None:
+                 reply_one_way_ms: float = 0.05,
+                 window_ms: Optional[float] = None) -> None:
         self.warmup_ms = warmup_ms
         self.reply_one_way_ms = reply_one_way_ms
+        self.e2e_windows: Optional[WindowedLatencyStats] = (
+            WindowedLatencyStats(window_ms) if window_ms else None)
         self._proposed_at: dict[str, float] = {}
         self._block_txs: dict[str, int] = {}
         self._first_commit_at: dict[str, float] = {}
@@ -157,7 +223,10 @@ class MetricsCollector:
         self._replied.add(key)
         if now < self.warmup_ms:
             return
-        self.e2e_latency.add((now + self.reply_one_way_ms) - tx.created_at)
+        arrival = now + self.reply_one_way_ms
+        self.e2e_latency.add(arrival - tx.created_at)
+        if self.e2e_windows is not None:
+            self.e2e_windows.add(arrival - tx.created_at, arrival)
 
     def on_replies(self, node: int, txs: tuple[Transaction, ...], now: float) -> None:
         """Batched :meth:`on_reply` for a whole committed block.
@@ -202,6 +271,8 @@ class MetricsCollector:
             self.duplicate_replies += duplicates
         if samples:
             self.e2e_latency.add_many(samples)
+            if self.e2e_windows is not None:
+                self.e2e_windows.add_many(samples, arrival)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -235,4 +306,4 @@ class MetricsCollector:
         }
 
 
-__all__ = ["MetricsCollector", "LatencyStats"]
+__all__ = ["MetricsCollector", "LatencyStats", "WindowedLatencyStats"]

@@ -130,6 +130,70 @@ def format_slo_breakdown(stats_by_label: "dict[str, Any]",
     return format_table(headers, rows, title=title)
 
 
+def format_slo_timeline(windows: "Sequence[Any]",
+                        title: str = "SLO timeline",
+                        every: int = 1) -> str:
+    """Render a soak run's per-window health/SLO timeline.
+
+    ``windows`` are :class:`repro.harness.soak.HealthWindow` rows (or any
+    object with the same attributes).  ``every`` thins long timelines —
+    ``every=8`` prints one row per 8 windows (violating and
+    phase-boundary windows are always kept, so the interesting rows
+    survive thinning).
+    """
+    headers = ["t (s)", "phase", "offered", "committed", "height", "vc",
+               "rec", "recovering", "mempool", "drops", "p50 (ms)",
+               "p99 (ms)", "p999 (ms)"]
+    rows = []
+    prev_phase = None
+    for i, w in enumerate(windows):
+        boundary = w.phase != prev_phase
+        prev_phase = w.phase
+        if not boundary and every > 1 and i % every:
+            continue
+        rows.append([
+            round(w.start_ms / 1000.0, 2), w.phase, w.offered, w.committed,
+            w.height, w.view_changes, w.recoveries, w.recovering,
+            w.mempool_depth, w.drops, round(w.p50, 2), round(w.p99, 2),
+            round(w.p999, 2),
+        ])
+    return format_table(headers, rows, title=title)
+
+
+def format_phase_breakdown(windows: "Sequence[Any]",
+                           title: str = "per-phase breakdown") -> str:
+    """Aggregate a soak timeline per phase (obs-style breakdown).
+
+    One row per phase in first-seen order: duration, offered/committed
+    totals, view-change and recovery counts, worst mempool depth, drop
+    total, and the worst per-window p99 seen inside the phase.
+    """
+    order: list[str] = []
+    agg: dict[str, dict] = {}
+    for w in windows:
+        if w.phase not in agg:
+            order.append(w.phase)
+            agg[w.phase] = {"ms": 0.0, "offered": 0, "committed": 0,
+                            "vc": 0, "rec": 0, "mempool": 0, "drops": 0,
+                            "p99": 0.0}
+        a = agg[w.phase]
+        a["ms"] += w.duration_ms
+        a["offered"] += w.offered
+        a["committed"] += w.committed
+        a["vc"] += w.view_changes
+        a["rec"] += w.recoveries
+        a["mempool"] = max(a["mempool"], w.mempool_depth)
+        a["drops"] += w.drops
+        a["p99"] = max(a["p99"], w.p99)
+    headers = ["phase", "dur (s)", "offered", "committed", "vc", "rec",
+               "peak mempool", "drops", "worst p99 (ms)"]
+    rows = [[p, round(agg[p]["ms"] / 1000.0, 2), agg[p]["offered"],
+             agg[p]["committed"], agg[p]["vc"], agg[p]["rec"],
+             agg[p]["mempool"], agg[p]["drops"], round(agg[p]["p99"], 2)]
+            for p in order]
+    return format_table(headers, rows, title=title)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
                  title: str = "") -> str:
     """Render a monospace table with a title line."""
@@ -149,4 +213,5 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
 
 
 __all__ = ["format_table", "format_breakdown", "format_byz_breakdown",
-           "format_network_breakdown", "format_slo_breakdown"]
+           "format_network_breakdown", "format_slo_breakdown",
+           "format_slo_timeline", "format_phase_breakdown"]

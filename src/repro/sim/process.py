@@ -38,6 +38,13 @@ class Timer:
         """True while the timer is armed and not yet fired/cancelled."""
         return self._event is not None and not self._event.cancelled
 
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute fire time while pending, else None."""
+        if self._event is None or self._event.cancelled:
+            return None
+        return self._event.time
+
     def start(self, delay: float, callback: Callable[[], None]) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` ms from now."""
         self.cancel()

@@ -1,0 +1,196 @@
+"""Deterministic open-loop arrival engines on the timer-wheel fast path.
+
+:class:`ArrivalEngine` is the shared core: given a
+:class:`~repro.workload.spec.WorkloadSpec` and a forked RNG it produces
+the (gap, client, key-rank) stream.  Draw order per arrival is fixed —
+**gap, then client, then key** — so the sequence for a given
+``(spec, seed)`` is byte-identical across runs, platforms, and consumers
+(the determinism tests pin this).
+
+Rate modulation (diurnal curve, flash crowds, churn) is evaluated
+analytically at each arrival instant rather than via scheduled rate
+changes: the engine is a pure function of time, so there is nothing to
+tear down or replay.  Gaps are drawn from the *instantaneous* rate — the
+standard stepwise approximation for non-homogeneous processes; at the
+millisecond gaps we run, the error at a rate step is one inter-arrival
+time.
+
+:class:`TrafficGenerator` turns the stream into mempool submissions via
+``Simulator.schedule_fast`` (no Event allocation, no cancellation
+handles) so a multi-hour soak with millions of arrivals stays cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Optional
+
+from repro.chain.transaction import Transaction
+from repro.client.workload import QueueSource
+from repro.sim.loop import Simulator
+from repro.workload.spec import WorkloadSpec
+
+#: Re-probe delay when the instantaneous rate is ~0 (population outage,
+#: deep diurnal trough): the engine polls rather than dividing by zero.
+_IDLE_PROBE_MS = 50.0
+
+#: Floor on instantaneous rate before the engine falls back to probing.
+_MIN_RATE_TPS = 1e-9
+
+
+class ArrivalEngine:
+    """The seeded (gap, client, key) stream for one workload spec.
+
+    Stateless apart from the RNG and engagement counters: rate and
+    population are pure functions of the spec and the query time.
+    """
+
+    def __init__(self, spec: WorkloadSpec, rng) -> None:
+        self.spec = spec
+        self.rng = rng
+        # Zipf(s) over key_space ranks via inverse-CDF + bisect: the CDF
+        # is precomputed once (O(key_space)), each draw is O(log K).
+        self._zipf_cdf: list[float] = []
+        if spec.key_space > 0:
+            s = spec.zipf_s
+            weights = [1.0 / (rank + 1) ** s for rank in range(spec.key_space)]
+            total = sum(weights)
+            acc = 0.0
+            for w in weights:
+                acc += w
+                self._zipf_cdf.append(acc / total)
+        # mu such that the lognormal mean equals the target mean gap:
+        # E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        self._lognormal_shift = spec.lognormal_sigma ** 2 / 2.0
+        # Engagement bookkeeping (anti-vacuity counters for the soak gate).
+        self.flash_arrivals = 0
+        self.churn_transitions = 0
+        self._last_population = spec.clients
+
+    def next_gap_ms(self, now_ms: float) -> float:
+        """Draw the gap to the next arrival, or an idle probe delay.
+
+        Returns ``(gap_ms, is_arrival)``-style behavior via sentinel: a
+        negative return means "no arrival, re-probe after |value|".
+        """
+        rate = self.spec.rate_at(now_ms)
+        if rate <= _MIN_RATE_TPS:
+            return -_IDLE_PROBE_MS
+        mean_gap_ms = 1000.0 / rate
+        if self.spec.arrival == "poisson":
+            return self.rng.expovariate(1.0 / mean_gap_ms)
+        # lognormal: heavy right tail, mean preserved.
+        mu = math.log(mean_gap_ms) - self._lognormal_shift
+        return self.rng.lognormvariate(mu, self.spec.lognormal_sigma)
+
+    def next_client(self, now_ms: float) -> int:
+        """Draw the submitting client id from the live population."""
+        population = self.spec.population_at(now_ms)
+        if population != self._last_population:
+            self.churn_transitions += 1
+            self._last_population = population
+        return self.rng.randrange(population)
+
+    def next_key_rank(self, now_ms: float) -> int:
+        """Draw a Zipf key rank (0 = hottest); -1 when key_space is 0.
+
+        Also counts flash-crowd arrivals (an arrival drawn while any
+        flash window is active) for the engagement gate.
+        """
+        for crowd in self.spec.flash_crowds:
+            if crowd.active_at(now_ms):
+                self.flash_arrivals += 1
+                break
+        return self.draw_rank()
+
+    def draw_rank(self) -> int:
+        """One raw Zipf rank draw (no flash bookkeeping); -1 if no keys."""
+        if not self._zipf_cdf:
+            return -1
+        return bisect_left(self._zipf_cdf, self.rng.random())
+
+
+class TrafficGenerator:
+    """Open-loop production-shaped traffic into a single-cluster mempool.
+
+    One arrival = one ``schedule_fast`` callback: draw (gap, client,
+    key), mint the transaction, hand it to ``submit`` after the client
+    one-way hop, schedule the next arrival.  ``submit`` defaults to
+    ``source.submit`` (admission control — bounded queues drop here and
+    account for it).
+
+    ``record`` (tests only) captures ``(time_ms, client_id, key_rank)``
+    triples so determinism tests can compare full sequences.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: QueueSource,
+        spec: WorkloadSpec,
+        rng_tag: str = "workload",
+        record: Optional[list] = None,
+        submit: Optional[Callable[[Transaction], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.source = source
+        self.spec = spec
+        self.engine = ArrivalEngine(spec, sim.fork_rng(rng_tag))
+        self.record = record
+        self._submit = submit if submit is not None else source.submit
+        self._seq = 0
+        self._stopped = False
+        self.emitted = 0
+        self.accepted = 0
+
+    def start(self) -> None:
+        """Begin generating arrivals."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating (in-flight client hops still land)."""
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        gap = self.engine.next_gap_ms(self.sim.now)
+        if gap < 0:
+            # Rate is effectively zero right now; probe again later
+            # without consuming client/key draws (keeps sequences
+            # comparable across rate schedules).
+            self.sim.schedule_fast(-gap, self._probe)
+            return
+        self.sim.schedule_fast(gap, self._emit)
+
+    def _probe(self) -> None:
+        self._schedule_next()
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now
+        engine = self.engine
+        client = engine.next_client(now)
+        rank = engine.next_key_rank(now)
+        self._seq += 1
+        seq = self._seq
+        payload = f"SET k{rank} v{seq}" if rank >= 0 else ""
+        tx = Transaction(client, seq, payload, self.spec.payload_size, now)
+        self.emitted += 1
+        if self.record is not None:
+            self.record.append((now, client, rank))
+        one_way = self.spec.client_one_way_ms
+        if one_way > 0:
+            self.sim.schedule_fast(one_way, self._deliver, tx)
+        else:
+            self._deliver(tx)
+        self._schedule_next()
+
+    def _deliver(self, tx: Transaction) -> None:
+        if self._submit(tx):
+            self.accepted += 1
+
+
+__all__ = ["ArrivalEngine", "TrafficGenerator"]

@@ -1,0 +1,136 @@
+"""Production-shaped traffic against the sharded deployment.
+
+Same :class:`~repro.workload.generators.ArrivalEngine` as the
+single-cluster generator, but arrivals land on the client
+:class:`~repro.shard.router.Router` (single-shard writes) or the 2PC
+:class:`~repro.shard.txn.TxnManager` (cross-shard transactions) instead
+of a mempool.  ``base_rate_tps`` is the *aggregate* offered load across
+the deployment — the router hashes hot keys wherever they live, so Zipf
+skew translates directly into shard imbalance, which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.loop import Simulator
+from repro.workload.generators import ArrivalEngine
+from repro.workload.spec import WorkloadSpec
+
+#: Bounded retries when sampling keys for a cross-shard transaction that
+#: must span distinct shards (hot-key skew can repeat a shard).
+_CROSS_DRAW_TRIES = 8
+
+
+class ShardTrafficGenerator:
+    """Shaped open-loop arrivals routed through the shard client tier."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router,
+        txns=None,
+        spec: Optional[WorkloadSpec] = None,
+        cross_fraction: float = 0.0,
+        cross_writes: int = 2,
+        rng_tag: str = "shard-workload",
+        record: Optional[list] = None,
+    ) -> None:
+        spec = spec if spec is not None else WorkloadSpec()
+        if spec.key_space <= 0:
+            raise ValueError("shard traffic needs key_space > 0 (keys route)")
+        if not 0.0 <= cross_fraction <= 1.0:
+            raise ValueError(f"cross_fraction must be in [0,1], got {cross_fraction}")
+        if cross_fraction > 0.0 and txns is None:
+            raise ValueError("cross-shard traffic needs a TxnManager")
+        n_shards = router.shard_map.n_shards
+        if cross_fraction > 0.0 and n_shards < 2:
+            raise ValueError("cross-shard traffic needs at least two shards")
+        self.sim = sim
+        self.router = router
+        self.txns = txns
+        self.spec = spec
+        self.cross_fraction = cross_fraction
+        self.cross_writes = min(cross_writes, max(n_shards, 1))
+        self.engine = ArrivalEngine(spec, sim.fork_rng(rng_tag))
+        self.record = record
+        self._shard_of = router.shard_map.shard_of
+        self._seq = 0
+        self._stopped = False
+        self.emitted = 0
+        self.writes_issued = 0
+        self.txns_issued = 0
+
+    def start(self) -> None:
+        """Begin generating arrivals."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating entirely."""
+        self._stopped = True
+
+    def stop_cross(self) -> None:
+        """Stop initiating 2PC transactions; single-shard writes continue
+        (quiesce protocol — see ShardedOpenLoopGenerator.stop_cross)."""
+        self.cross_fraction = 0.0
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        gap = self.engine.next_gap_ms(self.sim.now)
+        if gap < 0:
+            self.sim.schedule_fast(-gap, self._probe)
+            return
+        self.sim.schedule_fast(gap, self._emit)
+
+    def _probe(self) -> None:
+        self._schedule_next()
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now
+        engine = self.engine
+        # Same fixed draw order as TrafficGenerator (gap drawn at the
+        # previous arrival): client, then key(s).
+        client = engine.next_client(now)
+        rank = engine.next_key_rank(now)
+        self._seq += 1
+        seq = self._seq
+        self.emitted += 1
+        if self.record is not None:
+            self.record.append((now, client, rank))
+        if self.cross_fraction > 0.0 and engine.rng.random() < self.cross_fraction:
+            self._emit_cross(rank, seq)
+        else:
+            self.router.submit_write(f"k{rank}", f"v{seq}",
+                                     payload_size=self.spec.payload_size)
+            self.writes_issued += 1
+        self._schedule_next()
+
+    def _emit_cross(self, first_rank: int, seq: int) -> None:
+        # Build a write set spanning up to cross_writes distinct shards.
+        # Extra key draws come from the same Zipf stream; tries are
+        # bounded so a pathological skew degrades to fewer shards, not a
+        # spin.  Falls back to a single-shard 2PC if skew collapses the
+        # set — still a valid transaction, just not cross-shard.
+        engine = self.engine
+        ranks = [first_rank]
+        shards = {self._shard_of(f"k{first_rank}")}
+        tries = 0
+        while len(shards) < self.cross_writes and tries < _CROSS_DRAW_TRIES:
+            rank = engine.draw_rank()
+            tries += 1
+            if rank in ranks:
+                continue
+            shard = self._shard_of(f"k{rank}")
+            if shard in shards:
+                continue
+            shards.add(shard)
+            ranks.append(rank)
+        writes = {f"k{rank}": f"v{seq}.{j}" for j, rank in enumerate(ranks)}
+        self.txns.begin(writes)
+        self.txns_issued += 1
+
+
+__all__ = ["ShardTrafficGenerator"]

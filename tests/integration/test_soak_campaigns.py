@@ -1,0 +1,163 @@
+"""End-to-end soak campaigns: convergence, engagement, determinism.
+
+The acceptance bar for the soak harness itself:
+
+* the flagship defended campaign (achilles, sub-quorum) reconverges
+  within budget with every engagement counter genuinely nonzero — the
+  scenario exercised the bounded mempool, the backoff cap, and recovery,
+  not just the happy path;
+* the recovery-assist nudge (the convergence fix this harness forced —
+  see docs/SOAK.md) measurably shortens reconvergence on the pinned
+  regression seed, and turning it off restores the historical slow path
+  rather than a violation;
+* a campaign is a pure function of ``(spec, seed)``: byte-identical
+  digests across invocations;
+* the negative control (minbft with backoff disabled and a timeout below
+  its commit latency) deterministically trips the degradation-cycle
+  detector on every seed — proof the detector detects;
+* the traffic tier plugs into the sharded deployment: the same seeded
+  arrival engine drives the Router/2PC client tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.soak import SoakSpec, run_soak
+from repro.shard import ShardedDeployment
+from repro.workload.shard import ShardTrafficGenerator
+from repro.workload.spec import WorkloadSpec
+
+#: Pinned regression seed for the recovery-assist fix: on this seed the
+#: unassisted committee sits out a peak-backoff timer armed during the
+#: fault window and reconverges a full 1.5 s later.
+ASSIST_SEED = 0
+
+
+@pytest.fixture(scope="module")
+def subquorum():
+    """The flagship campaign at default (CLI) settings, run once."""
+    return run_soak(SoakSpec(scenario="sub-quorum"), ASSIST_SEED)
+
+
+class TestDefendedCampaign:
+    def test_reconverges_within_budget(self, subquorum):
+        r = subquorum
+        assert r.ok, r.violations
+        spec = SoakSpec(scenario="sub-quorum")
+        assert r.reconverged_at_ms is not None
+        assert r.reconverged_at_ms <= spec.release_ms + spec.reconverge_budget_ms
+        assert r.cycle == ""
+
+    def test_engagement_counters_nonzero(self, subquorum):
+        # Anti-vacuity: the campaign must have actually pressured the
+        # mempool, the pacemaker, and the recovery protocol.
+        extras = subquorum.extras
+        assert extras["overflow_drops"] > 0
+        assert extras["view_changes"] > 0
+        assert extras["backoff_decays"] > 0
+        assert extras["backoff_nudges"] > 0
+        assert extras["peak_backoff"] > 0
+        assert subquorum.recoveries >= 1
+        assert subquorum.committed_height > 1000
+
+    def test_recovery_assist_shortens_reconvergence(self, subquorum):
+        """Regression pin for the convergence bug this harness caught:
+        without the nudge, post-release recovery waits out the survivors'
+        peak-backoff armed timers (~2.1 s at the default cap) before a
+        view can land on a RUNNING leader."""
+        unassisted = run_soak(
+            SoakSpec(scenario="sub-quorum", recovery_assist=False),
+            ASSIST_SEED)
+        # Still legal behavior — just slow (the cycle-detector span is
+        # sized to not flag one waited-out timer as a limit cycle).
+        assert unassisted.ok, unassisted.violations
+        assert unassisted.extras["backoff_nudges"] == 0
+        assert subquorum.extras["backoff_nudges"] > 0
+        assert (unassisted.reconverged_at_ms
+                >= subquorum.reconverged_at_ms + 1000.0)
+
+
+class TestDeterminism:
+    def test_digest_identical_across_invocations(self):
+        spec = SoakSpec(scenario="leader-storm", warmup_ms=600.0,
+                        pressure_ms=1800.0, reconverge_budget_ms=2500.0,
+                        settle_ms=1200.0, clients=5000)
+        a = run_soak(spec, 3)
+        b = run_soak(spec, 3)
+        assert a.ok, a.violations
+        assert a.recoveries > 0  # the storm actually struck leaders
+        assert a.digest == b.digest
+        assert a.reconverged_at_ms == b.reconverged_at_ms
+
+    def test_seed_changes_digest(self):
+        spec = SoakSpec(scenario="flash-crowd", warmup_ms=400.0,
+                        pressure_ms=1000.0, reconverge_budget_ms=2000.0,
+                        settle_ms=800.0, clients=5000)
+        assert run_soak(spec, 1).digest != run_soak(spec, 2).digest
+
+
+class TestNegativeControl:
+    """minbft with ``vulnerable=True``: exponential backoff disabled and
+    a 2 ms base timeout below its ~5 ms counter-write commit path.
+    Every view times out before it can commit — a synchronized
+    view-change storm with (nearly) zero progress, forever."""
+
+    NEG = SoakSpec(protocol="minbft", scenario="flash-crowd",
+                   vulnerable=True, warmup_ms=800.0, pressure_ms=2000.0,
+                   reconverge_budget_ms=2500.0, settle_ms=1500.0,
+                   expect_violations=("degradation-cycle",
+                                      "post-quiesce-liveness"))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_cycle_detector_trips_on_every_seed(self, seed):
+        r = run_soak(self.NEG, seed)
+        # ok means: every *expected* violation tripped and nothing else.
+        assert r.ok, r.violations
+        assert r.extras["expected_tripped"] == [
+            "degradation-cycle", "post-quiesce-liveness"]
+        assert r.cycle != ""
+        # Height collapses by an order of magnitude vs the defended run.
+        assert r.committed_height < 2000
+
+
+class TestShardedTraffic:
+    def test_generator_drives_router_and_2pc_tiers(self):
+        deployment = ShardedDeployment(shards=2, seed=11, batch_size=20)
+        record = []
+        gen = ShardTrafficGenerator(
+            deployment.sim, deployment.router, txns=deployment.txns,
+            spec=WorkloadSpec(base_rate_tps=800.0, clients=200,
+                              key_space=64, zipf_s=1.0),
+            cross_fraction=0.25, record=record)
+        deployment.start()
+        gen.start()
+        deployment.run(1500.0)
+        gen.stop_cross()  # quiesce: let in-flight 2PC rounds settle
+        deployment.run(1200.0)
+        gen.stop()
+        deployment.finalize()
+        assert gen.writes_issued > 100
+        assert gen.txns_issued > 10
+        assert gen.emitted == gen.writes_issued + gen.txns_issued
+        # Zipf skew routes hot keys to whichever shard owns them; both
+        # shards must still see traffic (the hash map spreads ranks).
+        summary = deployment.summary()
+        assert summary["txs_committed"] > 100
+        deployment.assert_ok()
+
+    def test_sharded_stream_is_deterministic(self):
+        records = []
+        for _ in range(2):
+            deployment = ShardedDeployment(shards=2, seed=7, batch_size=20)
+            record = []
+            gen = ShardTrafficGenerator(
+                deployment.sim, deployment.router, txns=deployment.txns,
+                spec=WorkloadSpec(base_rate_tps=600.0, clients=100,
+                                  key_space=32),
+                cross_fraction=0.2, record=record)
+            deployment.start()
+            gen.start()
+            deployment.run(800.0)
+            records.append((record, gen.writes_issued, gen.txns_issued))
+        assert records[0] == records[1]

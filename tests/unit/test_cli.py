@@ -23,6 +23,25 @@ class TestParser:
         assert args.network == "WAN"
         assert args.faults == 4
 
+    def test_soak_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.protocols is None  # resolved to the default trio
+        assert args.scenario == ["all"]
+        assert args.seeds == 3 and args.seed is None
+        assert args.faults == 1
+        assert not args.vulnerable and args.expect is None
+        assert args.hours is None and args.pressure == 4000.0
+
+    def test_soak_hours_and_expect(self):
+        args = build_parser().parse_args(
+            ["soak", "--hours", "0.5", "--vulnerable",
+             "--expect", "degradation-cycle,post-quiesce-liveness",
+             "--scenario", "sub-quorum", "flash-crowd"])
+        assert args.hours == 0.5
+        assert args.vulnerable
+        assert args.expect == "degradation-cycle,post-quiesce-liveness"
+        assert args.scenario == ["sub-quorum", "flash-crowd"]
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -61,6 +80,32 @@ class TestCommands:
         assert main(["recovery", "--nodes", "3", "5"]) == 0
         out = capsys.readouterr().out
         assert "initialization" in out
+
+    def test_soak_negative_control_passes(self, capsys):
+        code = main(["soak", "--protocols", "minbft", "--scenario",
+                     "flash-crowd", "--seeds", "1", "--vulnerable",
+                     "--warmup", "800", "--pressure", "2000",
+                     "--budget", "2500", "--settle", "1500",
+                     "--expect", "degradation-cycle,post-quiesce-liveness"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VULNERABLE CONTROL" in out
+        assert "negative controls tripped" in out
+
+    def test_soak_missing_expected_violation_fails(self, capsys, tmp_path):
+        # A defended campaign with --expect: the cycle never trips, so
+        # the run must FAIL loudly with a reproduction command.
+        code = main(["soak", "--protocols", "achilles", "--scenario",
+                     "flash-crowd", "--seeds", "1",
+                     "--warmup", "400", "--pressure", "1200",
+                     "--budget", "2500", "--settle", "1000",
+                     "--expect", "degradation-cycle",
+                     "--trace-dir", str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "expected-violation-missing" in err
+        assert "reproduce with:" in err
+        assert "repro soak" in err
 
     def test_compare_runs_multiple(self, capsys):
         code = main(["compare", "achilles", "braft", "--f", "1",
