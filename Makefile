@@ -8,7 +8,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-quick bench perf scale scale-smoke chaos chaos-smoke \
 	loss-smoke byz-smoke snapshot-smoke trace-smoke shard-smoke \
-	shard-chaos shard-sweep soak soak-smoke ci
+	shard-chaos shard-sweep soak soak-smoke powercut powercut-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -96,6 +96,27 @@ soak:
 	$(PYTHON) -m repro soak --protocols minbft --scenario flash-crowd \
 		--seeds 3 --vulnerable \
 		--expect degradation-cycle,post-quiesce-liveness
+
+# Power-cut exploration smoke (< 60 s): enumerate every persistence
+# point one victim reaches, replay with mid-write cuts (torn flush
+# tails, lost buffered writes, reorders) at a stratified sample, reboot
+# through ordinary recovery, audit the durable-prefix invariant — plus
+# the journal-off negative control, which MUST trip durable-prefix on
+# every cut.  See docs/DURABILITY.md.
+powercut-smoke:
+	$(PYTHON) -m repro powercut --protocols achilles minbft --seeds 1 \
+		--max-cuts 3 --duration 1200 --quiesce 500 --warmup 150
+	$(PYTHON) -m repro powercut --protocols minbft --seeds 1 \
+		--max-cuts 2 --duration 1200 --quiesce 500 --warmup 150 \
+		--journal-off
+
+# Full exploration: 3 protocols x 3 seeds at full duration (stratified
+# cuts incl. reorder replays), then the journal-off control across the
+# same seeds.
+powercut:
+	$(PYTHON) -m repro powercut --seeds 3
+	$(PYTHON) -m repro powercut --protocols achilles minbft --seeds 3 \
+		--max-cuts 3 --journal-off
 
 # Traced Fig. 3 LAN runs: prints the critical-path cost breakdown, writes
 # Perfetto traces to traces/, and fails unless the walk attributes >= 95%

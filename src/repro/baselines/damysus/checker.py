@@ -244,13 +244,7 @@ class DamysusChecker(RStateMixin, Enclave):
             self.needs_restore = False
             return True
         version, payload = sealed_payload
-        if self.counter is not None:
-            self.charge_protected_read()
-            if version != self.counter.value:
-                raise EnclaveAbort(
-                    f"rollback detected: sealed version {version} != "
-                    f"counter {self.counter.value}"
-                )
+        self.check_sealed_freshness(version)
         self.state = DamysusState.from_payload(payload)
         self._state_version = version
         self.needs_restore = False

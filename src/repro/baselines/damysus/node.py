@@ -28,7 +28,7 @@ from repro.core.accumulator import AchillesAccumulator
 from repro.core.certificates import BlockCertificate, ViewCertificate
 from repro.crypto.keys import KeyPair, Keyring
 from repro.crypto.signatures import SignatureList
-from repro.errors import EnclaveAbort
+from repro.errors import EnclaveAbort, SealingError
 from repro.net.network import Network
 from repro.sim.loop import Simulator
 
@@ -458,10 +458,15 @@ class DamysusNode(ReplicaBase):
             self._obs.begin_phase("recovery", self.node_id, self.sim.now)
 
         def restore() -> None:
-            if rollback_attacker is not None:
-                sealed = rollback_attacker.unseal_for(self.checker, "rstate")
-            else:
-                sealed = self.checker.unseal_state("rstate")
+            try:
+                if rollback_attacker is not None:
+                    sealed = rollback_attacker.unseal_for(self.checker, "rstate")
+                else:
+                    sealed = self.checker.unseal_state("rstate")
+            except SealingError:
+                # The on-disk blob is torn/corrupt (e.g. a power cut mid
+                # write): no usable sealed state.
+                sealed = None
             try:
                 self.checker.tee_restore(sealed)
             except EnclaveAbort:

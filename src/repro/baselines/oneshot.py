@@ -35,7 +35,7 @@ from repro.core.certificates import (
 from repro.core.checker import AchillesChecker
 from repro.core.node import AchillesNode, Decide, NewView, NodeStatus, StoreVote
 from repro.crypto.signatures import SignatureList, sign
-from repro.errors import EnclaveAbort
+from repro.errors import EnclaveAbort, SealingError
 from repro.tee.enclave import ecall
 
 
@@ -184,13 +184,7 @@ class OneShotChecker(RStateMixin, AchillesChecker):
             self.recovering = False
             return True
         version, payload = sealed_payload
-        if self.counter is not None:
-            self.charge_protected_read()
-            if version != self.counter.value:
-                raise EnclaveAbort(
-                    f"rollback detected: sealed version {version} != "
-                    f"counter {self.counter.value}"
-                )
+        self.check_sealed_freshness(version)
         (vi, proposed, voted, prepv, preph, pre_voted) = payload
         st = self.state
         st.vi, st.proposed, st.voted, st.prepv, st.preph = vi, proposed, voted, prepv, preph
@@ -523,10 +517,15 @@ class OneShotNode(AchillesNode):
             self._obs.begin_phase("recovery", self.node_id, self.sim.now)
 
         def restore() -> None:
-            if rollback_attacker is not None:
-                sealed = rollback_attacker.unseal_for(self.checker, "rstate")
-            else:
-                sealed = self.checker.unseal_state("rstate")
+            try:
+                if rollback_attacker is not None:
+                    sealed = rollback_attacker.unseal_for(self.checker, "rstate")
+                else:
+                    sealed = self.checker.unseal_state("rstate")
+            except SealingError:
+                # The on-disk blob is torn/corrupt (e.g. a power cut mid
+                # write): no usable sealed state.
+                sealed = None
             try:
                 self.checker.tee_restore(sealed)
             except EnclaveAbort:

@@ -12,12 +12,23 @@ from typing import Iterator, Optional
 
 from repro.chain.block import Block, genesis_block
 from repro.errors import ChainError
+from repro.storage.journal import JournalRecord, WriteAheadJournal
 
 
 class BlockStore:
-    """Hash-indexed block DAG rooted at genesis."""
+    """Hash-indexed block DAG rooted at genesis.
 
-    def __init__(self) -> None:
+    Only the *committed prefix* is durable: each commitment appends the
+    newly committed path to a write-ahead journal (one record per block,
+    one fsync/commit barrier per batch), and checkpoint installs are
+    journaled the same way.  Uncommitted blocks, orphans, and provisional
+    state are volatile and die with a power cut; on
+    :meth:`power_restore` the store rebuilds exactly the durable chain.
+    """
+
+    def __init__(self, journaled: bool = True) -> None:
+        self.journal = WriteAheadJournal("block-store", journaled=journaled)
+        self.journal.restore_fn = self._restore_from_records
         self.genesis = genesis_block()
         self._blocks: dict[str, Block] = {self.genesis.hash: self.genesis}
         self._committed: list[Block] = [self.genesis]
@@ -193,6 +204,13 @@ class BlockStore:
         if self.track_txs:
             for b in path:
                 self._committed_tx_keys.update(tx.key for tx in b.txs)
+        # One durable batch per commitment: a cut mid-fsync tears the last
+        # block of a chained commit, a cut before the commit marker loses
+        # the whole batch.
+        for b in path:
+            self.journal.write("commit", b.hash, b)
+        self.journal.fsync()
+        self.journal.commit()
         return path
 
     @property
@@ -259,7 +277,52 @@ class BlockStore:
         self._committed_hashes.add(block.hash)
         if self.track_txs:
             self._committed_tx_keys.update(tx.key for tx in block.txs)
+        self.journal.log("checkpoint", block.hash, block)
         self._validate_orphans_of(block)
+
+    # ------------------------------------------------------------------
+    # Power-cut durability
+    # ------------------------------------------------------------------
+    def power_restore(self):
+        """Reboot after a power cut: reload exactly the durable committed
+        chain (no-op when no cut is pending).  Returns the journal's
+        :class:`~repro.storage.journal.RecoveryReport`, or ``None``."""
+        return self.journal.power_restore()
+
+    def durable_tip_height(self) -> int:
+        """Height of the committed tip as it would survive a pending cut
+        (equals the live tip when no cut is pending)."""
+        records = self.journal.peek_durable()
+        for record in reversed(records):
+            if not record.torn:
+                return record.value.height
+        return self.genesis.height
+
+    def _restore_from_records(self, records: list[JournalRecord]) -> None:
+        """Rebuild committed state from the surviving journal records.
+
+        Everything volatile — uncommitted blocks, orphans, provisional
+        marks — is gone.  With journal discipline on, the survivors are a
+        clean prefix of commit/checkpoint batches; with it off, torn and
+        out-of-order records come back too, and the resulting "chain" can
+        have holes — which is exactly what the ``durable-prefix``
+        invariant exists to catch.
+        """
+        self._blocks = {self.genesis.hash: self.genesis}
+        self._committed = [self.genesis]
+        self._committed_hashes = {self.genesis.hash}
+        self._committed_tx_keys = set()
+        self._orphans = {}
+        self._provisional = set()
+        for record in records:
+            block = record.value
+            if block.hash in self._committed_hashes:
+                continue
+            self._blocks[block.hash] = block
+            self._committed.append(block)
+            self._committed_hashes.add(block.hash)
+            if self.track_txs:
+                self._committed_tx_keys.update(tx.key for tx in block.txs)
 
 
 __all__ = ["BlockStore"]

@@ -379,6 +379,104 @@ def _dump_failing_chaos_trace(args: argparse.Namespace, failure) -> None:
           "(open at https://ui.perfetto.dev)", file=sys.stderr)
 
 
+#: Default protocol set for ``repro powercut`` — distinct durable-state
+#: shapes: Achilles (sealed rstate + recovery protocol), MinBFT (USIG
+#: counter sealing), Damysus-R (checker sealing + persistent counter,
+#: exercising the atomic-increment persistence points).
+_POWERCUT_PROTOCOLS = ["achilles", "minbft", "damysus-r"]
+
+
+def cmd_powercut(args: argparse.Namespace) -> int:
+    """Exhaustive power-cut exploration over the durability layer.
+
+    For each (protocol, seed): enumerate every persistence point one
+    victim replica reaches, replay the identical run with a mid-write cut
+    injected at a stratified sample of them, reboot the victim through
+    ordinary recovery, and audit the full invariant suite plus
+    durable-prefix.  Exit status is 1 if any cut fails (or, with
+    --journal-off, if the expected durable-prefix violation ever fails
+    to appear).
+    """
+    from repro.faults.powercut import PowercutResult, run_powercut_seed
+    from repro.harness.parallel import run_experiments
+
+    protocols = args.protocols or _POWERCUT_PROTOCOLS
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    expect = tuple(s for s in (args.expect or "").split(",") if s)
+    if args.journal_off and "durable-prefix" not in expect:
+        expect = expect + ("durable-prefix",)
+    configs = [
+        dict(
+            protocol=protocol, f=args.faults, network=args.network,
+            duration_ms=args.duration, quiesce_ms=args.quiesce,
+            warmup_ms=args.warmup, downtime_ms=args.downtime,
+            max_cuts=args.max_cuts, reorder_cuts=args.reorder_cuts,
+            counter_write_ms=args.counter_write_ms,
+            journal_off=args.journal_off, expect_violations=expect,
+            snapshot_interval=args.snapshot_interval,
+            snapshot_retain=args.snapshot_retain,
+            seed=seed,
+        )
+        for protocol in protocols
+        for seed in seeds
+    ]
+    results = run_experiments(configs, runner=run_powercut_seed,
+                              result_type=PowercutResult, unpack=False)
+
+    rows = []
+    failures = []
+    for result in results:
+        kinds = result.extras.get("point_kinds", {})
+        rows.append([
+            result.protocol, result.f, result.n, result.seed, result.victim,
+            result.points_total, result.points_eligible,
+            "+".join(f"{k}:{v}" for k, v in kinds.items()) or "-",
+            len(result.cuts),
+            sum(c.dropped_records for c in result.cuts),
+            len(result.violations), result.digest[:12],
+        ])
+        if result.violations:
+            failures.append(result)
+    mode = "journal-OFF negative control" if args.journal_off else "journaled"
+    print(format_table(
+        ["protocol", "f", "n", "seed", "victim", "points", "eligible",
+         "kinds", "cuts", "dropped", "violations", "digest"],
+        rows,
+        title=f"powercut — {len(protocols)} protocol(s) × {len(seeds)} "
+              f"seed(s), {args.network}, f={args.faults}, {mode}",
+    ))
+    for result in failures:
+        print(f"\nFAIL {result.protocol} seed {result.seed}: "
+              f"{len(result.violations)} violation(s)", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        extra = ""
+        if args.journal_off:
+            extra += "--journal-off "
+        if expect:
+            extra += f"--expect {','.join(expect)} "
+        if args.snapshot_interval:
+            extra += f"--snapshot-interval {args.snapshot_interval} " \
+                     f"--snapshot-retain {args.snapshot_retain} "
+        print("  reproduce with:\n"
+              f"    python -m repro powercut --protocols {result.protocol} "
+              f"--f {result.f} --network {result.network} "
+              f"--duration {args.duration:g} --quiesce {args.quiesce:g} "
+              f"--warmup {args.warmup:g} --downtime {args.downtime:g} "
+              f"--max-cuts {args.max_cuts} --reorder-cuts {args.reorder_cuts} "
+              f"--counter-write-ms {args.counter_write_ms:g} "
+              f"{extra}--seed {result.seed}", file=sys.stderr)
+    if failures:
+        return 1
+    cuts = sum(len(r.cuts) for r in results)
+    print(f"\nall {len(results)} explorations passed: {cuts} power cuts "
+          f"replayed, every recovery preserved the durable prefix"
+          if not args.journal_off else
+          f"\nnegative control held on all {len(results)} explorations: "
+          f"{cuts} un-journaled cuts each tripped durable-prefix")
+    return 0
+
+
 #: Default protocol set for ``repro soak`` — the TEE protocol with full
 #: recovery plus the two baselines (distinct committee/trust shapes).
 _SOAK_PROTOCOLS = ["achilles", "damysus", "minbft"]
@@ -785,6 +883,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where the first failing seed's span trace "
                               "is dumped (Perfetto JSON)")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_pcut = sub.add_parser(
+        "powercut", help="exhaustive power-cut exploration: cut mid-write "
+                         "at every enumerated persistence point, recover, "
+                         "audit the durable prefix")
+    p_pcut.add_argument("--protocols", nargs="+", default=None,
+                        help=f"protocol names (default: "
+                             f"{' '.join(_POWERCUT_PROTOCOLS)})")
+    p_pcut.add_argument("--seeds", type=int, default=3,
+                        help="run seeds 0..N-1 per protocol")
+    p_pcut.add_argument("--seed", type=int, default=None,
+                        help="run exactly this one seed (reproduce a failure)")
+    p_pcut.add_argument("--f", type=int, default=1, dest="faults",
+                        help="fault threshold f")
+    p_pcut.add_argument("--network", choices=["LAN", "WAN"], default="LAN")
+    p_pcut.add_argument("--duration", type=float, default=2500.0,
+                        help="oracle/replay length (simulated ms)")
+    p_pcut.add_argument("--quiesce", type=float, default=1000.0,
+                        help="fault-free tail: recovery and liveness must "
+                             "complete inside it (ms)")
+    p_pcut.add_argument("--warmup", type=float, default=200.0,
+                        help="cuts land only after this (ms)")
+    p_pcut.add_argument("--downtime", type=float, default=120.0,
+                        help="victim dark time after the cut (ms)")
+    p_pcut.add_argument("--max-cuts", type=int, default=6,
+                        help="replays per seed (stratified sample of the "
+                             "enumerated points)")
+    p_pcut.add_argument("--reorder-cuts", type=int, default=1,
+                        help="sampled commit/atomic points replayed as "
+                             "barrier-ignoring reorder cuts")
+    p_pcut.add_argument("--counter-write-ms", type=float, default=5.0,
+                        help="persistent-counter write latency for -R variants")
+    p_pcut.add_argument("--journal-off", action="store_true",
+                        help="negative control: victim journals become "
+                             "write-back caches without barriers; every cut "
+                             "MUST trip durable-prefix")
+    p_pcut.add_argument("--expect", default=None, metavar="INV[,INV]",
+                        help="negative control: these invariants MUST trip "
+                             "on every cut; any other violation still fails")
+    p_pcut.add_argument("--snapshot-interval", type=int, default=None,
+                        metavar="BLOCKS",
+                        help="enable certified KV snapshots every N blocks "
+                             "(routes cuts through the snapshot vault too)")
+    p_pcut.add_argument("--snapshot-retain", type=int, default=12,
+                        metavar="BLOCKS")
+    p_pcut.set_defaults(func=cmd_powercut)
 
     p_soak = sub.add_parser(
         "soak", help="long-horizon soak campaigns: production-shaped "

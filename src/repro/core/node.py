@@ -674,6 +674,11 @@ class AchillesNode(ReplicaBase):
         self._try_finish_recovery()
 
     def _try_finish_recovery(self) -> None:
+        if self.status is not NodeStatus.RECOVERING:
+            # A crash landed between collecting replies and finishing (or
+            # a stale callback fired after recovery already completed):
+            # the episode is over; the next reboot starts a fresh one.
+            return
         if len(self._recovery_replies) < self.config.f + 1:
             return
         replies = [entry[0] for entry in self._recovery_replies.values()]
@@ -708,6 +713,12 @@ class AchillesNode(ReplicaBase):
             if best_qc is not None and best_qc.block_hash == best_block.hash:
                 # Commit it once the ancestry is available.
                 self._handle_commitment(best_qc, src=best_signer)
+        if self.status is not NodeStatus.RUNNING:
+            # The commit handler can run arbitrary downstream work, and a
+            # power cut inside it crashes this node *synchronously*.  Do
+            # not resurrect timers or send messages from a dead host —
+            # the next reboot restarts recovery from scratch.
+            return
         self.view = view_cert.current_view
         self.pacemaker.view_started(self.view)
         self.send_to(self.leader_of(self.view), NewView(cert=view_cert))

@@ -57,7 +57,46 @@ class SealingError(ReproError):
 
     Note that a *stale but authentic* blob does NOT raise — that is exactly
     the rollback attack the paper is about.
+
+    Carries structured context when available: ``identity`` (the enclave
+    the blob claims to belong to), ``version`` (the blob's sealing
+    version), and ``reason`` (which check failed) — chaos and power-cut
+    reports need to say *which* blob of *which* enclave was rejected.
     """
+
+    def __init__(self, reason: str, *, identity: str | None = None,
+                 version: int | None = None):
+        detail = reason
+        if identity is not None:
+            detail += f" (identity={identity!r}"
+            if version is not None:
+                detail += f", version={version}"
+            detail += ")"
+        super().__init__(detail)
+        self.reason = reason
+        self.identity = identity
+        self.version = version
+
+
+class StorageError(ReproError):
+    """The durable-storage layer detected an inconsistency (journal
+    misuse, an unrecoverable record, a persistence-point protocol error).
+    """
+
+
+class TornWriteError(StorageError, SealingError):
+    """A blob/record was only partially persisted when power was lost.
+
+    Subclasses *both* :class:`StorageError` (it is a storage-layer
+    condition) and :class:`SealingError` (a torn sealed blob fails tag
+    authentication, and every existing ``except SealingError`` restore
+    path must treat it as corrupt rather than crash).
+    """
+
+    def __init__(self, reason: str, *, identity: str | None = None,
+                 version: int | None = None):
+        SealingError.__init__(self, reason, identity=identity,
+                              version=version)
 
 
 class CounterError(ReproError):

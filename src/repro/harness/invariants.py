@@ -41,7 +41,14 @@ run* rather than only at the end:
   trip;
 * **state-agreement** — any two replicas whose executed state stands at
   the same height expose the same state root (deterministic execution
-  over the agreed chain; checked whenever nodes maintain state).
+  over the agreed chain; checked whenever nodes maintain state);
+* **durable-prefix** — after a power cut (:mod:`repro.faults.powercut`),
+  the state a node reboots into must be a prefix of what it had durably
+  fsynced before the cut: the committed tip never ends below the durable
+  floor captured at the cut, every durably committed block is committed
+  again after recovery, and the storage layer never serves torn,
+  uncommitted, or out-of-order records (the journal-off negative control
+  trips exactly this).
 
 **Negative controls.**  ``expected_violations`` flips selected
 invariants from "must hold" to "must demonstrably break": a Byzantine
@@ -127,6 +134,12 @@ class InvariantMonitor:
         self._state_disagree_reported: set[tuple[int, int]] = set()
         # (node, counter name) -> last persistent counter value seen
         self._last_counter: dict[tuple[int, str], int] = {}
+        # node -> durable floor captured at its last power cut:
+        # (height, hashes of the durable committed chain)
+        self._durable_floor: dict[int, tuple[int, tuple[str, ...]]] = {}
+        # node -> pre-cut committed hashes a post-cut replay may legally
+        # re-commit (its durable chain rolled back, so it commits them anew)
+        self._replay_allowance: dict[int, set[str]] = {}
         # node -> sim time it was first seen RECOVERING (this episode)
         self._recovering_since: dict[int, float] = {}
         self._reported_stuck: set[int] = set()
@@ -171,6 +184,26 @@ class InvariantMonitor:
 
     def on_commit(self, node: int, block: Block, now: float) -> None:
         height, block_hash = block.height, block.hash
+
+        allowance = self._replay_allowance.get(node)
+        if allowance and block_hash in allowance:
+            # Post-power-cut replay: the node's durable chain rolled back
+            # and it legitimately re-commits blocks it committed before
+            # the cut.  Chain-integrity still applies (the replay must
+            # advance one block at a time from the durable floor); the
+            # duplicate/exactly-once bookkeeping already holds this block.
+            allowance.discard(block_hash)
+            last = self._tip_height.get(node)
+            if last is not None and height != last + 1:
+                self._violate(
+                    "chain-integrity", node,
+                    f"replayed committed height jumped {last} -> {height} "
+                    f"(must advance one block at a time)",
+                )
+            self._tip_height[node] = height
+            if self.inner is not None:
+                self.inner.on_commit(node, block, now)
+            return
 
         canonical = self._canonical.get(height)
         if canonical is None:
@@ -430,6 +463,47 @@ class InvariantMonitor:
             )
 
     # ------------------------------------------------------------------
+    # Power-cut hooks (repro.faults.powercut)
+    # ------------------------------------------------------------------
+    def note_power_cut(self, node_id: int, durable_height: int,
+                       durable_hashes: tuple[str, ...] = (),
+                       resume_height: Optional[int] = None) -> None:
+        """A power cut rolled ``node_id``'s durable state back.
+
+        ``durable_height``/``durable_hashes`` describe the committed chain
+        that survived the cut (the durable floor).  Re-commits of pre-cut
+        blocks become legitimate replay, the node's commit cursor restarts
+        at the floor, and :meth:`finalize` will check the durable-prefix
+        invariant against it.  Monitor state derived from the victim's
+        volatile or not-yet-durable state (counter samples, seal-freshness
+        peaks, certificate coverage) is reset: physics erased it.
+
+        ``resume_height`` is the height the node *actually* restarted at.
+        With journaling it equals the floor; a journal-off recovery can
+        resurrect records past it, and that break is reported separately
+        through :meth:`note_prefix_violation` — the commit cursor still
+        has to track where the node really is, or every later commit
+        would double-report as a chain-integrity jump.
+        """
+        self._durable_floor[node_id] = (durable_height, tuple(durable_hashes))
+        allowance = self._replay_allowance.setdefault(node_id, set())
+        allowance.update(self._committed_hashes.get(node_id, ()))
+        self._tip_height[node_id] = durable_height if resume_height is None \
+            else resume_height
+        self._uncovered.pop(node_id, None)
+        for key in [k for k in self._last_counter if k[0] == node_id]:
+            del self._last_counter[key]
+        self._peak_vi.pop(node_id, None)
+        self._peak_snapshot.pop(node_id, None)
+
+    def note_prefix_violation(self, node_id: Optional[int],
+                              message: str) -> None:
+        """The storage layer reported a durable-prefix break directly:
+        a journal-off recovery served torn, uncommitted, or out-of-order
+        records back to its owner."""
+        self._violate("durable-prefix", node_id, message)
+
+    # ------------------------------------------------------------------
     # End-of-run checks
     # ------------------------------------------------------------------
     def mark_quiesced(self) -> None:
@@ -466,6 +540,28 @@ class InvariantMonitor:
                     f"{len(uncovered)} committed block(s) never covered by a "
                     f"commitment certificate, first: height {height} "
                     f"({block_hash[:12]})",
+                )
+
+        for node in self.cluster.nodes:
+            floor = self._durable_floor.get(node.node_id)
+            store = getattr(node, "store", None)
+            if floor is None or store is None:
+                continue
+            floor_height, floor_hashes = floor
+            tip = store.committed_tip.height
+            if tip < floor_height:
+                self._violate(
+                    "durable-prefix", node.node_id,
+                    f"committed tip ended at height {tip}, below the "
+                    f"durable floor {floor_height} captured at the power "
+                    f"cut (durably committed state was lost)",
+                )
+            missing = [h for h in floor_hashes if not store.is_committed(h)]
+            if missing:
+                self._violate(
+                    "durable-prefix", node.node_id,
+                    f"{len(missing)} durably committed block(s) absent "
+                    f"after recovery, first: {missing[0][:12]}",
                 )
 
         if self._quiesced_at is not None:

@@ -1,0 +1,46 @@
+"""Crash-consistent durable storage (write-ahead journal + power cuts).
+
+Every durable structure in the simulator — the sealed-blob
+:class:`~repro.tee.sealing.UntrustedStore`, the per-node
+:class:`~repro.chain.store.BlockStore` committed chain, and the
+:class:`~repro.tee.counters.PersistentCounter` hardware counters — funnels
+its mutations through a :class:`WriteAheadJournal`.  The journal exposes
+the three classic persistence points of a write-ahead log:
+
+* ``write``  — the record entered the (volatile) write-back cache;
+* ``fsync``  — the cache was flushed; the *last* record of the flushed
+  batch may be torn if power is lost mid-flush;
+* ``commit`` — the commit marker hit the disk; the batch is valid.
+
+Hardware monotonic counters use a fourth, non-tearable point
+(``atomic``): an increment is either fully durable or never happened.
+
+In ordinary runs the journal is **passive**: no events, no RNG, no cost
+charges, no record retention — golden digests of every pinned sweep are
+byte-identical with the layer in place.  A :class:`PowerCutController`
+(attached by :mod:`repro.faults.powercut`) turns on retention,
+enumerates every point reached in a seeded run, and on replay injects a
+cut *at* a chosen point: lost buffered writes, torn tail records, clean
+boundary crashes, or barrier-ignoring reordered records.  On reboot the
+owner restores exactly the durable image the cut left behind, and a
+:class:`RecoveryReport` says what was kept and what was discarded — the
+evidence behind the ``durable-prefix`` invariant.
+
+See ``docs/DURABILITY.md``.
+"""
+
+from repro.storage.journal import (
+    JournalRecord,
+    PowerCutController,
+    PersistencePoint,
+    RecoveryReport,
+    WriteAheadJournal,
+)
+
+__all__ = [
+    "JournalRecord",
+    "PersistencePoint",
+    "PowerCutController",
+    "RecoveryReport",
+    "WriteAheadJournal",
+]

@@ -28,11 +28,22 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigurationError, CounterError
+from repro.storage.journal import JournalRecord, WriteAheadJournal
 
 
 @dataclass
 class PersistentCounter:
-    """Base class: monotonic value + write/read latency sampling."""
+    """Base class: monotonic value + write/read latency sampling.
+
+    Increments go through an *atomic* write-ahead journal: a hardware
+    monotonic-counter bump is a single non-tearable NVRAM write, so a
+    power cut leaves the counter at either the old or the new value,
+    never in between.  Under the power-cut explorer
+    (:mod:`repro.faults.powercut`) :meth:`power_restore` rolls the value
+    back to the last durable increment — which is how the legitimate
+    store-then-increment crash window of :meth:`Usig.tee_restore
+    <repro.tee.trinc.Usig.tee_restore>` arises.
+    """
 
     name: str = "counter"
     write_ms: float = 0.0
@@ -44,6 +55,16 @@ class PersistentCounter:
     writes: int = 0
     reads: int = 0
     _rng: random.Random = field(default_factory=lambda: random.Random(0), repr=False)
+    journal: WriteAheadJournal = field(
+        default_factory=lambda: WriteAheadJournal("counter", atomic=True),
+        repr=False)
+    #: Counter value when the first *retained* increment was journaled —
+    #: the rollback floor if no journaled increment survives a cut.
+    _journal_base: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.journal.owner = f"counter/{self.name}"
+        self.journal.restore_fn = self._restore_from_records
 
     def seed(self, rng: random.Random) -> "PersistentCounter":
         """Attach a deterministic jitter stream; returns self for chaining."""
@@ -58,9 +79,32 @@ class PersistentCounter:
         """
         if self.max_write_cycles is not None and self.writes >= self.max_write_cycles:
             raise CounterError(f"{self.name}: write cycles exhausted ({self.max_write_cycles})")
+        if self.journal.controller is not None and self._journal_base is None:
+            self._journal_base = self.value
         self.value += 1
         self.writes += 1
+        self.journal.log_atomic("increment", self.name, self.value)
         return self.value, self._latency(self.write_ms, self.write_jitter_ms)
+
+    def power_restore(self):
+        """Reboot after a power cut: drop any increment the cut pre-empted
+        (no-op when no cut is pending).  Returns the journal's
+        :class:`~repro.storage.journal.RecoveryReport`, or ``None``."""
+        return self.journal.power_restore()
+
+    def _restore_from_records(self, records: list[JournalRecord]) -> None:
+        """Roll back to the last durably recorded increment.
+
+        The journal only retains records while a power-cut controller is
+        attached, so the surviving tail is authoritative for that window:
+        its last value is the durable counter value.
+        """
+        if records:
+            self.value = records[-1].value
+        elif self._journal_base is not None:
+            # No increment survived the explored window: roll back to the
+            # value the counter had when journaling began.
+            self.value = self._journal_base
 
     def read(self) -> tuple[int, float]:
         """Read current value; returns ``(value, latency_ms)``."""

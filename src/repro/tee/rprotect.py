@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import EnclaveAbort
 from repro.tee.counters import PersistentCounter
 
 
@@ -54,6 +55,36 @@ class RStateMixin:
         # write as its own bucket — the cost Achilles eliminates.
         self.charge_part("counter", self.counter.name, latency)  # type: ignore[attr-defined]
         self.counter_writes += 1
+
+    def check_sealed_freshness(self, version: int) -> None:
+        """Post-reboot freshness check of a sealed state version.
+
+        * ``version == counter`` — fresh, accept.
+        * ``version == counter + 1`` — the legitimate store-then-increment
+          crash window: power died after the sealed store became durable
+          but before the counter increment landed.  The sealed state is
+          the *newest* ever produced, so accept it and resync the counter
+          forward with one (paid) increment.  Refusing here would turn
+          every unlucky power cut into a permanently bricked replica.
+        * anything else — a rollback (or a forged future version): abort.
+
+        No-op without a counter (the unprotected baselines).
+        """
+        if self.counter is None:
+            return
+        self.charge_protected_read()
+        if version == self.counter.value:
+            return
+        if version == self.counter.value + 1:
+            _, latency = self.counter.increment()
+            self.charge_part("counter", f"{self.counter.name}.resync",  # type: ignore[attr-defined]
+                             latency)
+            self.counter_writes += 1
+            return
+        raise EnclaveAbort(
+            f"rollback detected: sealed version {version} != "
+            f"counter {self.counter.value}"
+        )
 
     def protected_read_latency(self) -> float:
         """Latency of the post-reboot freshness check (counter read)."""

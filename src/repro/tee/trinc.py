@@ -138,13 +138,7 @@ class Usig(RStateMixin, Enclave):
         if sealed_payload is None:
             return True
         version, payload = sealed_payload
-        if self.counter is not None:
-            self.charge_protected_read()
-            if version != self.counter.value:
-                raise EnclaveAbort(
-                    f"rollback detected: sealed version {version} != "
-                    f"counter {self.counter.value}"
-                )
+        self.check_sealed_freshness(version)
         value, last_seen = payload
         self.counter_value = value
         self.last_seen = dict(last_seen)

@@ -1,0 +1,121 @@
+"""Regression tests: a crash landing *during* recovery must not wedge the
+node — the next reboot restarts recovery cleanly.
+
+Two windows matter for Achilles (Algorithm 3):
+
+* the enclave-init window, after ``reboot()`` but before the recovery
+  request is even broadcast (``after(init_ms, _begin_recovery)`` is still
+  pending when the second crash lands);
+* the reply-collection window, after the request went out but before f+1
+  replies arrived.
+
+A stale ``_try_finish_recovery`` callback firing on a crashed (or
+already-recovered) host used to be able to resurrect timers and send
+messages from a dead node; the status guards pin that closed.  MinBFT has
+no recovery protocol — its reboot is a pacemaker re-arm — but the same
+double-crash cadence must still come back to a committing node.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import NodeStatus
+
+from tests.conftest import achilles_cluster
+
+
+class TestAchillesCrashDuringRecovery:
+    def test_crash_inside_enclave_init_window(self):
+        """Second crash before ``_begin_recovery`` ever ran."""
+        cluster = achilles_cluster(f=2)
+        cluster.start()
+        cluster.run(80.0)
+        node = cluster.nodes[2]
+        node.crash()
+        cluster.run(10.0)
+        node.reboot()
+        # Enclave init takes ~ms; crash again before it completes so the
+        # pending _begin_recovery callback fires on a CRASHED host.
+        cluster.run(0.1)
+        assert node.status is NodeStatus.RECOVERING
+        node.crash()
+        cluster.run(10.0)
+        node.reboot()
+        cluster.run(500.0)
+        cluster.assert_safety()
+        assert node.status is NodeStatus.RUNNING
+        # Only the second recovery ran to completion.
+        assert len(node.recovery_episodes) == 1
+
+    def test_crash_while_collecting_replies(self):
+        """Second crash after the recovery request went out."""
+        cluster = achilles_cluster(f=2)
+        cluster.start()
+        cluster.run(80.0)
+        node = cluster.nodes[3]
+        node.crash()
+        cluster.run(10.0)
+        node.reboot()
+        # Run past enclave init so the request is in flight, then kill the
+        # node mid-collection (LAN RTT ~0.2 ms keeps replies arriving).
+        cluster.run(3.0)
+        assert node.status is NodeStatus.RECOVERING
+        node.crash()
+        cluster.run(20.0)
+        node.reboot()
+        cluster.run(600.0)
+        cluster.assert_safety()
+        assert node.status is NodeStatus.RUNNING
+        assert node.store.committed_tip.height >= \
+            cluster.min_committed_height() - 2
+
+    def test_stale_finish_callback_on_crashed_host_is_inert(self):
+        """The guard itself: _try_finish_recovery on a dead node is a
+        no-op — no exception, no resurrection."""
+        cluster = achilles_cluster(f=2)
+        cluster.start()
+        cluster.run(80.0)
+        node = cluster.nodes[1]
+        node.crash()
+        assert node.status is NodeStatus.CRASHED
+        node._try_finish_recovery()
+        assert node.status is NodeStatus.CRASHED
+        assert not node._outbox
+
+    def test_triple_crash_reboot_cycles(self):
+        """Back-to-back crash/reboot cycles, each interrupting the last
+        recovery, must still converge once the node is finally left up."""
+        cluster = achilles_cluster(f=2)
+        cluster.start()
+        cluster.run(80.0)
+        node = cluster.nodes[2]
+        for _ in range(3):
+            node.crash()
+            cluster.run(5.0)
+            node.reboot()
+            cluster.run(2.0)  # inside init/collection: recovery unfinished
+        cluster.run(700.0)
+        cluster.assert_safety()
+        assert node.status is NodeStatus.RUNNING
+        assert node.recovery_episodes
+
+
+class TestMinBFTCrashDuringReboot:
+    def test_double_crash_reboot_cycle_commits_again(self):
+        from tests.integration.test_minbft import minbft_cluster
+
+        cluster = minbft_cluster(f=1)
+        cluster.start()
+        cluster.run(100.0)
+        node = cluster.nodes[2]
+        node.crash()
+        cluster.run(5.0)
+        node.reboot()
+        cluster.run(0.5)  # crash again right after the re-arm
+        node.crash()
+        cluster.run(5.0)
+        node.reboot()
+        height_at_return = cluster.min_committed_height()
+        cluster.run(400.0)
+        cluster.assert_safety()
+        assert node.alive
+        assert cluster.min_committed_height() > height_at_return

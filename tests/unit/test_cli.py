@@ -107,6 +107,33 @@ class TestCommands:
         assert "reproduce with:" in err
         assert "repro soak" in err
 
+    def test_powercut_defaults(self):
+        args = build_parser().parse_args(["powercut"])
+        assert args.protocols is None  # resolved to the default trio
+        assert args.seeds == 3 and args.seed is None
+        assert args.max_cuts == 6 and args.reorder_cuts == 1
+        assert not args.journal_off and args.expect is None
+
+    def test_powercut_small_run_passes(self, capsys):
+        code = main(["powercut", "--protocols", "minbft", "--seeds", "1",
+                     "--max-cuts", "2", "--duration", "1200",
+                     "--quiesce", "500", "--warmup", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "powercut" in out
+        assert "every recovery preserved the durable prefix" in out
+
+    def test_powercut_journal_off_control(self, capsys):
+        # --journal-off implies --expect durable-prefix; the control must
+        # trip on every cut and the command still exits 0.
+        code = main(["powercut", "--protocols", "minbft", "--seeds", "1",
+                     "--max-cuts", "2", "--duration", "1200",
+                     "--quiesce", "500", "--warmup", "150",
+                     "--journal-off"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "negative control held" in out
+
     def test_compare_runs_multiple(self, capsys):
         code = main(["compare", "achilles", "braft", "--f", "1",
                      "--batch", "20", "--payload", "16",

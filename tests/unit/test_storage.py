@@ -1,0 +1,416 @@
+"""Unit tests for the durability layer: write-ahead journal, power-cut
+controller, recovery discipline, and the journaled owners (sealed store,
+persistent counter, block store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnclaveAbort, SealingError, StorageError, TornWriteError
+from repro.storage import (
+    JournalRecord,
+    PersistencePoint,
+    PowerCutController,
+    RecoveryReport,
+    WriteAheadJournal,
+)
+from repro.tee.counters import ConfigurableCounter
+from repro.tee.sealing import SealingKey, UntrustedStore, seal, torn_blob, unseal
+
+
+# ----------------------------------------------------------------------
+# Passivity: no controller, no behavior
+# ----------------------------------------------------------------------
+class TestJournalPassive:
+    def test_retains_nothing_without_controller(self):
+        j = WriteAheadJournal("x")
+        for i in range(5):
+            j.write("put", f"k{i}", i)
+        j.fsync()
+        j.commit()
+        j.log("put", "k5", 5)
+        j.log_atomic("inc", "c", 1)
+        assert j.records == []
+        assert j._seq == 7
+        assert j.peek_durable() == []
+        assert j.power_restore() is None
+        assert j.last_report is None
+
+    def test_restore_fn_never_called_without_cut(self):
+        j = WriteAheadJournal("x")
+        called = []
+        j.restore_fn = lambda records: called.append(records)
+        j.log("put", "k", 1)
+        assert j.power_restore() is None
+        assert called == []
+
+
+# ----------------------------------------------------------------------
+# Oracle mode: persistence-point enumeration
+# ----------------------------------------------------------------------
+class TestEnumeration:
+    def test_points_enumerated_in_order_with_kinds(self):
+        ctl = PowerCutController()
+        j = WriteAheadJournal("store")
+        c = WriteAheadJournal("counter", atomic=True)
+        ctl.register(j)
+        ctl.register(c)
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        j.fsync()
+        j.commit()
+        c.log_atomic("inc", "n", 1)
+        kinds = [p.kind for p in ctl.points]
+        assert kinds == ["write", "write", "fsync", "commit", "atomic"]
+        assert [p.index for p in ctl.points] == [0, 1, 2, 3, 4]
+        assert ctl.points[0].owner == "store"
+        assert ctl.points[4].owner == "counter"
+        assert ctl.points[3].op == "put"  # commit reports the batch tail op
+        assert not ctl.fired
+
+    def test_clock_stamps_points(self):
+        ctl = PowerCutController(clock=lambda: 42.5)
+        j = WriteAheadJournal("store")
+        ctl.register(j)
+        j.log("put", "a", 1)
+        assert all(p.at_ms == 42.5 for p in ctl.points)
+
+    def test_double_registration_is_idempotent_but_foreign_rejected(self):
+        ctl = PowerCutController()
+        j = WriteAheadJournal("store")
+        ctl.register(j)
+        ctl.register(j)
+        assert ctl.journals == [j]
+        with pytest.raises(StorageError):
+            PowerCutController().register(j)
+
+
+# ----------------------------------------------------------------------
+# Cut semantics, point kind by point kind
+# ----------------------------------------------------------------------
+def _journal_with_cut(cut_index, cut_kind=None, journaled=True):
+    ctl = PowerCutController(cut_index=cut_index, cut_kind=cut_kind)
+    j = WriteAheadJournal("store", journaled=journaled)
+    ctl.register(j)
+    return ctl, j
+
+
+class TestCutSemantics:
+    def test_write_cut_loses_buffered_record(self):
+        # points: w0 w1 f2 c3 | w4 <- cut at the second batch's write
+        ctl, j = _journal_with_cut(4)
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        j.fsync()
+        j.commit()
+        j.write("put", "c", 3)
+        assert ctl.fired and j.cut_pending
+        report = j.power_restore()
+        assert [r.key for r in j.records] == ["a", "b"]
+        assert report.dropped_buffered == 1
+        assert report.recovered == 2
+        assert not report.prefix_violated
+
+    def test_fsync_cut_tears_batch_tail(self):
+        # points: w0 w1 f2 <- cut mid-flush: record "b" is torn
+        ctl, j = _journal_with_cut(2)
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        j.fsync()
+        report = j.power_restore()
+        # "a" was fsynced but never committed — the prefix breaks there,
+        # and the torn "b" behind it is discarded with the suffix.  WAL
+        # recovery keeps neither and never serves a torn record.
+        assert report.dropped_uncommitted == 1
+        assert report.dropped_after_gap == 1
+        assert report.total == 2
+        assert report.recovered == 0
+        assert not report.prefix_violated
+
+    def test_commit_cut_is_clean_boundary(self):
+        ctl, j = _journal_with_cut(3)
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        j.fsync()
+        j.commit()
+        report = j.power_restore()
+        assert [r.key for r in j.records] == ["a", "b"]
+        assert report.recovered == 2 and report.total == 2
+
+    def test_atomic_cut_keeps_the_increment(self):
+        ctl = PowerCutController(cut_index=1)
+        j = WriteAheadJournal("counter", atomic=True)
+        ctl.register(j)
+        j.log_atomic("inc", "n", 1)
+        j.log_atomic("inc", "n", 2)
+        j.log_atomic("inc", "n", 3)  # after the cut: dead power, retained
+        report = j.power_restore()
+        assert [r.value for r in j.records] == [1, 2]
+        assert report.recovered == 2
+
+    def test_reorder_cut_drops_suffix_after_gap(self):
+        # Cut at the second commit with reorder: the record right before
+        # the commit batch's tail is lost, so journaled recovery truncates
+        # at the hole.
+        ctl, j = _journal_with_cut(7, cut_kind="reorder")
+        for step in range(2):
+            j.write("put", f"a{step}", step)
+            j.write("put", f"b{step}", step)
+            j.fsync()
+            j.commit()
+        report = j.power_restore()
+        assert [r.key for r in j.records] == ["a0", "b0", "a1"][:report.recovered]
+        assert report.dropped_lost == 1
+        assert report.dropped_after_gap >= 1
+        assert not report.prefix_violated  # journaled: truncated, not served
+
+    def test_remote_journals_freeze_at_clean_boundary(self):
+        ctl = PowerCutController(cut_index=4)
+        j = WriteAheadJournal("store")
+        other = WriteAheadJournal("other")
+        ctl.register(j)
+        ctl.register(other)
+        other.log("put", "x", 1)          # points 0,1,2
+        j.write("put", "a", 1)            # point 3
+        j.write("put", "b", 2)            # point 4 <- cut
+        assert other.cut_pending
+        report = other.power_restore()
+        assert report.cut_kind == "remote"
+        assert [r.key for r in other.records] == ["x"]
+        assert j.power_restore().recovered == 0
+
+    def test_on_cut_fires_exactly_once(self):
+        ctl, j = _journal_with_cut(0)
+        seen: list[PersistencePoint] = []
+        ctl.on_cut = seen.append
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        assert len(seen) == 1 and seen[0].index == 0
+        assert ctl.fired_at == seen[0]
+
+    def test_journal_restarts_from_surviving_seq(self):
+        ctl, j = _journal_with_cut(3)
+        j.log("put", "a", 1)          # w0 f1 c2
+        j.write("put", "b", 2)        # point 3 <- cut
+        j.power_restore()
+        assert j._seq == 1
+        j2 = WriteAheadJournal("fresh")
+        PowerCutController(cut_index=0).register(j2)
+        j2.write("put", "a", 1)
+        j2.power_restore()
+        assert j2._seq == 0
+
+    def test_double_freeze_rejected(self):
+        j = WriteAheadJournal("store")
+        j.freeze_cut("commit")
+        with pytest.raises(StorageError):
+            j.freeze_cut("commit")
+
+
+# ----------------------------------------------------------------------
+# Journal-off (write-back cache) recovery: the negative control
+# ----------------------------------------------------------------------
+class TestJournalOffRecovery:
+    def test_torn_tail_is_served_back(self):
+        ctl, j = _journal_with_cut(2, journaled=False)
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        j.fsync()
+        report = j.power_restore()
+        assert report.accepted_torn == 1
+        assert report.accepted_uncommitted == 2
+        assert report.prefix_violated
+        assert [r.key for r in j.records] == ["a", "b"]
+        assert j.records[-1].torn
+
+    def test_reorder_hole_is_served_across(self):
+        ctl, j = _journal_with_cut(7, cut_kind="reorder", journaled=False)
+        for step in range(2):
+            j.write("put", f"a{step}", step)
+            j.write("put", f"b{step}", step)
+            j.fsync()
+            j.commit()
+        report = j.power_restore()
+        assert report.accepted_after_gap >= 1
+        assert report.prefix_violated
+        keys = [r.key for r in j.records]
+        assert "a1" not in keys and "b1" in keys  # hole, then the tail
+
+    def test_buffered_records_still_lost(self):
+        # Even a barrier-less cache loses what never left RAM.
+        ctl, j = _journal_with_cut(1, journaled=False)
+        j.write("put", "a", 1)
+        j.write("put", "b", 2)
+        report = j.power_restore()
+        assert report.dropped_buffered == 2
+        assert report.recovered == 0
+        assert not report.prefix_violated  # nothing wrong was *served*
+
+    def test_describe_mentions_acceptance(self):
+        report = RecoveryReport(owner="s", cut_kind="fsync", total=3,
+                                recovered=3, accepted_torn=1)
+        assert "1t" in report.describe()
+        assert report.prefix_violated
+
+
+# ----------------------------------------------------------------------
+# Journaled owners
+# ----------------------------------------------------------------------
+class TestCounterRestore:
+    def test_restore_rolls_back_to_last_retained_increment(self):
+        c = ConfigurableCounter(0.0)
+        for _ in range(3):
+            c.increment()                 # pre-attach history: value 3
+        ctl = PowerCutController(cut_index=4)
+        ctl.register(c.journal)
+        c.increment()                     # point 0 (atomic), value 4
+        c.increment()                     # point 1, value 5
+        assert not ctl.fired              # cut index never reached:
+        c.journal.freeze_cut("commit")    # freeze the image manually
+        c.increment()                     # post-freeze: dies with power
+        c.power_restore()
+        assert c.value == 5
+
+    def test_zero_survivors_fall_back_to_pre_attach_value(self):
+        c = ConfigurableCounter(0.0)
+        for _ in range(3):
+            c.increment()
+        ctl = PowerCutController(cut_index=99)
+        ctl.register(c.journal)
+        c.increment()                     # journaled increment -> value 4
+        # Freeze before any increment became durable is impossible for an
+        # atomic journal — emulate the lost-everything image directly.
+        c.journal._cut = ([], "remote")
+        c.power_restore()
+        assert c.value == 3               # the pre-attach base, not 0
+
+    def test_no_journaled_increments_leaves_value_alone(self):
+        c = ConfigurableCounter(0.0)
+        for _ in range(2):
+            c.increment()
+        ctl = PowerCutController(cut_index=99)
+        ctl.register(c.journal)
+        c.journal._cut = ([], "remote")
+        c.power_restore()
+        assert c.value == 2
+
+
+class TestUntrustedStoreRestore:
+    def _sealed(self, key, version):
+        return seal(key, f"payload-v{version}", version=version)
+
+    def test_versions_rebuilt_from_durable_image(self):
+        key = SealingKey.derive("e")
+        store = UntrustedStore()
+        ctl = PowerCutController(cut_index=8)   # 3 points per store()
+        ctl.register(store.journal)
+        for v in range(3):
+            store.store("item", self._sealed(key, v))
+        assert ctl.fired                        # fired at the last commit
+        store.power_restore()
+        assert store.version_count("item") == 3
+        assert unseal(key, store.fetch("item")) == "payload-v2"
+
+    def test_cut_before_commit_drops_latest_version(self):
+        key = SealingKey.derive("e")
+        store = UntrustedStore()
+        ctl = PowerCutController(cut_index=6)   # the 3rd store()'s write
+        ctl.register(store.journal)
+        for v in range(3):
+            store.store("item", self._sealed(key, v))
+        store.power_restore()
+        assert store.version_count("item") == 2
+        assert unseal(key, store.fetch("item")) == "payload-v1"
+
+    def test_torn_record_restores_as_torn_blob(self):
+        key = SealingKey.derive("e")
+        store = UntrustedStore(journaled=False)
+        ctl = PowerCutController(cut_index=4)   # 2nd store()'s fsync point
+        ctl.register(store.journal)
+        store.store("item", self._sealed(key, 0))
+        store.store("item", self._sealed(key, 1))
+        report = store.power_restore()
+        assert report.prefix_violated
+        assert store.version_count("item") == 2
+        blob = store.fetch("item")
+        assert blob.torn
+        with pytest.raises(TornWriteError):
+            unseal(key, blob)
+
+
+class TestTornBlob:
+    def test_torn_blob_flagged_and_rejected(self):
+        key = SealingKey.derive("e")
+        blob = seal(key, "x", version=1)
+        torn = torn_blob(blob)
+        assert torn.torn and not blob.torn
+        with pytest.raises(TornWriteError):
+            unseal(key, torn)
+        # TornWriteError is still a SealingError: legacy handlers catch it.
+        with pytest.raises(SealingError):
+            unseal(key, torn)
+
+    def test_sealing_error_carries_context(self):
+        key_a = SealingKey.derive("a")
+        key_b = SealingKey.derive("b")
+        blob = seal(key_a, "x", version=7)
+        with pytest.raises(SealingError) as err:
+            unseal(key_b, blob)
+        assert err.value.identity == "a"
+        assert err.value.version == 7
+        assert "identity" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# The store-then-increment crash window (check_sealed_freshness)
+# ----------------------------------------------------------------------
+class TestSealedFreshness:
+    def _box(self):
+        from repro.baselines.common import RStateMixin
+        from repro.tee.enclave import Enclave
+
+        class Box(RStateMixin, Enclave):
+            pass
+
+        box = Box(identity="box")
+        box.attach_counter(ConfigurableCounter(0.0))
+        return box
+
+    def test_matching_version_accepted(self):
+        box = self._box()
+        box.counter.increment()
+        box.check_sealed_freshness(1)
+        assert box.counter.value == 1
+
+    def test_version_one_ahead_resyncs_counter(self):
+        # The store-then-increment crash window: the sealed blob committed
+        # but power died before the counter ticked.  The blob is the
+        # *newest* state — recovery resyncs the counter forward.
+        box = self._box()
+        box.counter.increment()
+        box.check_sealed_freshness(2)
+        assert box.counter.value == 2
+
+    def test_stale_version_still_aborts(self):
+        box = self._box()
+        box.counter.increment()
+        box.counter.increment()
+        with pytest.raises(EnclaveAbort, match="rollback"):
+            box.check_sealed_freshness(1)
+
+    def test_future_version_beyond_window_aborts(self):
+        box = self._box()
+        box.counter.increment()
+        with pytest.raises(EnclaveAbort):
+            box.check_sealed_freshness(5)
+
+    def test_no_counter_is_a_noop(self):
+        from repro.baselines.common import RStateMixin
+        from repro.tee.enclave import Enclave
+
+        class Box(RStateMixin, Enclave):
+            pass
+
+        box = Box(identity="box")
+        box.attach_counter(None)
+        box.check_sealed_freshness(17)  # nothing to check against

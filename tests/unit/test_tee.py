@@ -51,6 +51,47 @@ class TestSealing:
         seal(key, "new", version=2)
         assert unseal(key, old) == "old"
 
+    def test_tamper_matrix_under_interleaved_seal_and_cut(self):
+        """The full adversary/physics matrix over the version history.
+
+        Interleave seals with a power cut that tears the newest blob
+        mid-flush (journal-off store: the torn record is *served*, not
+        discarded).  Every fully persisted version must remain servable
+        and unsealable — a rollback adversary's menu is unchanged — while
+        the torn blob must fail tag validation no matter which version
+        slot the adversary serves it from.
+        """
+        from repro.errors import TornWriteError
+        from repro.storage import PowerCutController
+
+        key = SealingKey.derive("a")
+        store = UntrustedStore(journaled=False)
+        # Points per store(): write, fsync, commit.  Cut at index 10 = the
+        # 4th seal's fsync: v3 tears mid-flush, v0..v2 fully persisted.
+        ctl = PowerCutController(cut_index=10)
+        ctl.register(store.journal)
+        for v in range(4):
+            store.store("item", seal(key, f"v{v}", version=v))
+        report = store.power_restore()
+        assert report.prefix_violated  # the torn tail was served back
+
+        assert store.version_count("item") == 4
+        for v in range(3):  # any fully persisted version: adversary's pick
+            blob = store.fetch("item", v)
+            assert not blob.torn
+            assert unseal(key, blob) == f"v{v}"
+        torn = store.fetch("item", 3)
+        assert torn.torn
+        with pytest.raises(TornWriteError):
+            unseal(key, torn)
+        # ... and the torn blob stays detectable under the legacy handler
+        # taxonomy: TornWriteError *is* a SealingError.
+        with pytest.raises(SealingError):
+            unseal(key, torn)
+        # The honest "latest" fetch also lands on the torn blob — a
+        # journal-off reboot cannot silently trust its newest state.
+        assert store.fetch("item").torn
+
     def test_untrusted_store_retains_all_versions(self):
         store = UntrustedStore()
         key = SealingKey.derive("a")
